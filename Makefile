@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction.
+
+PY ?= python
+
+.PHONY: install test bench examples report all clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/ -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PY) $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+report: bench
+	@echo "benchmark artefacts:" && ls benchmarks/results/
+
+all: test bench examples
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

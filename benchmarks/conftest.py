@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, asserts
+the paper's qualitative claims on the regenerated data, and writes the
+formatted artefact to ``benchmarks/results/<experiment>.txt`` so the
+rows survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_artifact():
+    """Write (and echo) a named benchmark artefact."""
+
+    def _record(name: str, text: str) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / ("%s.txt" % name)
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        return text
+
+    return _record

@@ -1,0 +1,130 @@
+"""Ablation A1 -- why the all-X start is load-bearing.
+
+Corollary 5.3 has two ingredients: the *conservative* ternary
+propagation and the *all-X* initialisation.  This ablation removes the
+second ingredient and shows the invariance collapse:
+
+* all-X start (the paper's CLS): equivalence holds for every retiming
+  -- verified with the COMPLETE checker, not sampling;
+* all-ZERO start (a plausible-but-wrong methodology: "just initialise
+  the simulator to 0"): even a single *justifiable* forward move across
+  a NOT gate is detected, because the moved latch now stores the
+  complemented signal;
+* exact power-up sweep (the Section 2.1 powerful simulator): the
+  hazardous Figure 1 move is detected.
+
+The paper's theorem sits exactly at the one configuration that works.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.bench.generators import random_sequential_circuit
+from repro.bench.paper_circuits import (
+    TABLE1_INPUT_SEQUENCE,
+    figure1_design_c,
+    figure1_design_d,
+)
+from repro.logic.ternary import ZERO
+from repro.netlist.builder import CircuitBuilder
+from repro.retime.engine import RetimingSession
+from repro.retime.moves import enabled_moves
+from repro.sim.exact import exact_outputs
+from repro.stg.ternary_equiv import decide_cls_equivalence
+
+
+def inverter_pipeline():
+    """in -> latch -> NOT -> out, the smallest ablation witness."""
+    b = CircuitBuilder("invpipe")
+    i = b.input("i")
+    q = b.latch(i, name="l")
+    b.output(b.gate("NOT", q, name="inv"))
+    return b.build()
+
+
+def retime_randomly(circuit, seed, steps=6):
+    rng = random.Random(seed)
+    session = RetimingSession(circuit)
+    for _ in range(steps):
+        moves = enabled_moves(session.current)
+        if not moves:
+            break
+        session.apply(rng.choice(moves))
+    return session
+
+
+def pairs():
+    d = figure1_design_d()
+    yield "figure1 D vs C (hazardous move)", d, figure1_design_c()
+    inv = inverter_pipeline()
+    inv_session = RetimingSession(inv)
+    inv_session.forward("inv")
+    yield "inverter pipeline, forward(NOT)", inv, inv_session.current
+    for seed in range(4):
+        circuit = random_sequential_circuit(seed, num_inputs=1, num_gates=6, num_latches=2)
+        yield "rand%d, random retiming" % seed, circuit, retime_randomly(circuit, seed).current
+
+
+def verdict_all_x(original, retimed):
+    return decide_cls_equivalence(original, retimed) is None
+
+
+def verdict_all_zero(original, retimed):
+    return (
+        decide_cls_equivalence(
+            original,
+            retimed,
+            start_c=(ZERO,) * original.num_latches,
+            start_d=(ZERO,) * retimed.num_latches,
+        )
+        is None
+    )
+
+
+def ablation_report():
+    rows = []
+    for name, original, retimed in pairs():
+        rows.append(
+            (
+                name,
+                "invariant" if verdict_all_x(original, retimed) else "DETECTED",
+                "invariant" if verdict_all_zero(original, retimed) else "DETECTED",
+            )
+        )
+    # The exact simulator row for the paper pair.
+    d, c = figure1_design_d(), figure1_design_c()
+    exact_same = exact_outputs(d, TABLE1_INPUT_SEQUENCE) == exact_outputs(
+        c, TABLE1_INPUT_SEQUENCE
+    )
+    table = ascii_table(
+        ("circuit pair", "ternary, all-X start (CLS)", "ternary, all-0 start"),
+        rows,
+    )
+    coda = "exact power-up sweep on the Figure 1 pair: %s" % (
+        "invariant" if exact_same else "DETECTED (0·0·1·0 vs 0·X·X·X)"
+    )
+    return (
+        "%s\n%s\n\n%s"
+        % (
+            banner("Ablation: initialisation choice vs retiming-invariance"),
+            table,
+            coda,
+        ),
+        rows,
+        exact_same,
+    )
+
+
+def test_bench_ablation_init(benchmark, record_artifact):
+    text, rows, exact_same = benchmark.pedantic(ablation_report, rounds=1, iterations=1)
+    record_artifact("ablation_init", text)
+
+    # All-X: invariant everywhere (the theorem).
+    assert all(row[1] == "invariant" for row in rows)
+    # All-zero: broken at least on the inverter-pipeline witness.
+    by_name = {row[0]: row for row in rows}
+    assert by_name["inverter pipeline, forward(NOT)"][2] == "DETECTED"
+    # Exact: broken on the paper pair.
+    assert not exact_same

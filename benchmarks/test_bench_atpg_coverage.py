@@ -1,0 +1,130 @@
+"""Experiment T46b -- fault coverage across retiming, at test-set scale.
+
+Extends the Figure 3 single-instance result to whole machine-generated
+test sets: for each workload, ATPG builds a test set for the original
+design (exact unknown-power-up semantics), the circuit is randomly
+retimed (hazardous moves allowed), and the set is regraded three ways:
+
+* on the original (the baseline coverage),
+* replayed verbatim on the retimed circuit (Figure 3 says this may
+  drop),
+* replayed with every k-cycle warm-up prefix required to detect
+  (Theorem 4.6 says this must NOT drop below baseline on shared
+  faults).
+
+Faults are placed on nets that survive the retiming (primary outputs'
+cones), so original and retimed grades are comparable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.analysis.testability import is_test_preserved_delayed
+from repro.bench.iscas import load
+from repro.bench.paper_circuits import figure1_design_d
+from repro.retime.engine import RetimingSession
+from repro.retime.moves import enabled_moves
+from repro.sim.atpg import generate_tests, grade_test_set
+from repro.sim.fault import detects_exact, enumerate_faults
+
+
+def workloads():
+    yield "figure1_D", figure1_design_d(), 0
+    yield "mini_traffic", load("mini_traffic"), 1
+    yield "mini_seqdet", load("mini_seqdet"), 2
+
+
+def retime(name, circuit, seed, steps=5):
+    session = RetimingSession(circuit)
+    if name == "figure1_D":
+        # The paper's own hazardous move, deterministically.
+        session.forward("fanQ")
+        return session
+    rng = random.Random(seed)
+    for _ in range(steps):
+        moves = enabled_moves(session.current)
+        if not moves:
+            break
+        session.apply(rng.choice(moves))
+    return session
+
+
+def coverage_rows():
+    rows = []
+    for name, circuit, seed in workloads():
+        fault_nets = list(circuit.outputs)
+        if circuit.has_net("q2b"):
+            fault_nets.append("q2b")  # the Figure 3 site
+        faults = list(enumerate_faults(circuit, nets=fault_nets))
+        atpg = generate_tests(
+            circuit, faults=faults, seed=seed, max_attempts=120, max_length=4
+        )
+        session = retime(name, circuit, seed)
+        retimed = session.current
+        k = session.theorem45_k
+        shared = [f for f in atpg.detected if retimed.has_net(f.net)]
+
+        replay = grade_test_set(retimed, atpg.tests, faults=shared)
+        direct_hits = len(replay.detected)
+
+        delayed_hits = 0
+        if k * len(circuit.inputs) <= 8:
+            for fault in shared:
+                test = atpg.tests[atpg.detected[fault]]
+                if is_test_preserved_delayed(retimed, fault, test, k):
+                    delayed_hits += 1
+        rows.append(
+            (
+                name,
+                len(atpg.tests),
+                len(shared),
+                direct_hits,
+                k,
+                delayed_hits,
+                session.hazardous_move_count,
+            )
+        )
+    return rows
+
+
+def coverage_report():
+    rows = coverage_rows()
+    table = ascii_table(
+        (
+            "circuit",
+            "tests",
+            "faults detected in D",
+            "still detected in C",
+            "k",
+            "detected in C^k",
+            "hazardous moves",
+        ),
+        rows,
+    )
+    return (
+        "%s\n%s"
+        % (
+            banner("ATPG coverage across retiming (Figure 3 at test-set scale)"),
+            table,
+        ),
+        rows,
+    )
+
+
+def test_bench_atpg_coverage(benchmark, record_artifact):
+    text, rows = benchmark.pedantic(coverage_report, rounds=1, iterations=1)
+    record_artifact("atpg_coverage", text)
+
+    for name, tests, shared, direct, k, delayed, hazardous in rows:
+        # Theorem 4.6: with the k-cycle delay every shared fault's
+        # original test works again.
+        assert delayed == shared, (name, shared, delayed)
+        # Direct replay can never beat the delayed discipline.
+        assert direct <= shared
+    # The Figure 3 phenomenon must be visible at test-set scale: the
+    # deterministic hazardous retiming of figure1_D loses coverage on
+    # direct replay.
+    fig1 = rows[0]
+    assert fig1[3] < fig1[2], fig1

@@ -1,0 +1,70 @@
+"""Experiment F2 -- Section 2.1's "sufficiently powerful simulator".
+
+For input 0·1·1·1 the exact unknown-power-up simulator outputs
+``0·0·1·0`` for D and ``0·X·X·X`` for C -- it *can* distinguish the
+retimed design.  One redundant warm-up cycle (arbitrary input) makes
+the two agree again, which is the delayed-design notion Leiserson and
+Saxe's correctness statement relies on.  The conservative three-valued
+simulator, by contrast, reports ``0·X·X·X`` for both (Section 5).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.bench.paper_circuits import (
+    TABLE1_INPUT_SEQUENCE,
+    figure1_design_c,
+    figure1_design_d,
+)
+from repro.logic.ternary import ONE, X, ZERO, format_ternary_sequence
+from repro.sim.exact import exact_outputs
+from repro.sim.ternary_sim import cls_outputs
+
+
+def fmt(outs):
+    return format_ternary_sequence(v[0] for v in outs)
+
+
+def simulator_comparison():
+    d, c = figure1_design_d(), figure1_design_c()
+    seq = TABLE1_INPUT_SEQUENCE
+    warm = ((False,),) + seq
+    rows = [
+        ("exact, D, 0·1·1·1", fmt(exact_outputs(d, seq))),
+        ("exact, C, 0·1·1·1", fmt(exact_outputs(c, seq))),
+        ("exact, D, warm-up + 0·1·1·1", fmt(exact_outputs(d, warm))),
+        ("exact, C, warm-up + 0·1·1·1", fmt(exact_outputs(c, warm))),
+        ("CLS,   D, 0·1·1·1", fmt(cls_outputs(d, seq))),
+        ("CLS,   C, 0·1·1·1", fmt(cls_outputs(c, seq))),
+    ]
+    table = ascii_table(("simulation", "output sequence"), rows)
+    return "%s\n%s" % (
+        banner("Section 2.1: the powerful simulator vs the CLS on D and C"),
+        table,
+    )
+
+
+def test_bench_exact_simulator(benchmark, record_artifact):
+    text = benchmark(simulator_comparison)
+    record_artifact("exact_simulator", text)
+
+    d, c = figure1_design_d(), figure1_design_c()
+    seq = TABLE1_INPUT_SEQUENCE
+
+    # The paper's exact strings.
+    assert fmt(exact_outputs(d, seq)) == "0·0·1·0"
+    assert fmt(exact_outputs(c, seq)) == "0·X·X·X"
+
+    # One redundant cycle reconciles the two designs (any warm-up input).
+    for warmup in ((False,), (True,)):
+        wd = exact_outputs(d, (warmup,) + seq)[1:]
+        wc = exact_outputs(c, (warmup,) + seq)[1:]
+        assert wd == wc
+
+    # The CLS cannot distinguish them at all.
+    assert cls_outputs(d, seq) == cls_outputs(c, seq) == (
+        (ZERO,),
+        (X,),
+        (X,),
+        (X,),
+    )

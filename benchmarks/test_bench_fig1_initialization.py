@@ -1,0 +1,62 @@
+"""Experiment F1 -- **Figures 1 and 2**: the initialization story.
+
+The paper's Figure 2 caption: "Design where retiming breaks down an
+initializing sequence of length 1."  D is driven to state 0 by the
+input sequence ``0`` from every power-up state; the retimed C is not;
+and the 1-cycle-delayed design C^1 (states 00 and 11 only) is
+equivalent to D.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.bench.paper_circuits import figure1_design_c, figure1_design_d
+from repro.sim.exact import is_initializing_sequence, synchronized_state
+from repro.stg.delayed import delay_needed_for_implication, delayed_states
+from repro.stg.equivalence import implies, machines_equivalent
+from repro.stg.explicit import extract_stg
+from repro.stg.replaceability import is_safe_replacement
+
+SEQ_ZERO = ((False,),)
+
+
+def initialization_report():
+    d_ckt, c_ckt = figure1_design_d(), figure1_design_c()
+    d, c = extract_stg(d_ckt), extract_stg(c_ckt)
+    rows = [
+        ("D initialised by '0'", is_initializing_sequence(d_ckt, SEQ_ZERO)),
+        ("D state reached", synchronized_state(d_ckt, SEQ_ZERO)),
+        ("C initialised by '0'", is_initializing_sequence(c_ckt, SEQ_ZERO)),
+        ("C ⊑ D (implication)", implies(c, d)),
+        ("C ≼ D (safe replacement)", is_safe_replacement(c, d)),
+        ("D ⊑ C", implies(d, c)),
+        ("states of C^1", sorted(c.state_label(s) for s in delayed_states(c, 1))),
+        ("least n with C^n ⊑ D", delay_needed_for_implication(c, d)),
+    ]
+    table = ascii_table(("property", "value"), rows)
+    return "%s\n%s" % (
+        banner("Figures 1-2: retiming breaks a length-1 initializing sequence"),
+        table,
+    )
+
+
+def test_bench_fig1_initialization(benchmark, record_artifact):
+    text = benchmark(initialization_report)
+    record_artifact("fig1_initialization", text)
+
+    d_ckt, c_ckt = figure1_design_d(), figure1_design_c()
+    d, c = extract_stg(d_ckt), extract_stg(c_ckt)
+
+    # Paper claims, verbatim.
+    assert is_initializing_sequence(d_ckt, SEQ_ZERO)
+    assert synchronized_state(d_ckt, SEQ_ZERO) == (False,)
+    assert not is_initializing_sequence(c_ckt, SEQ_ZERO)
+    assert not implies(c, d)
+    assert not is_safe_replacement(c, d)
+    assert delayed_states(c, 1) == frozenset({0, 3})  # "00" and "11"
+    assert delay_needed_for_implication(c, d) == 1
+
+    # "C^1 is equivalent to the design D": the delayed machine implies D
+    # and D implies C, which with single-TSCC structure gives mutual
+    # steady-state equivalence.
+    assert implies(d, c)

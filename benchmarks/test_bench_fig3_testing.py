@@ -1,0 +1,84 @@
+"""Experiment F3 -- **Figure 3 / Section 2.2**: retiming loses a test.
+
+The stuck-at-1 fault on the latched fanout branch feeding the output
+gate is detected by the sequence ``0·1`` in the original D (fault-free
+``0·0`` from every power-up state, faulty ``0·1``), but NOT in the
+retimed C, whose fault-free version may itself emit ``0·1`` depending
+on power-up -- refuting Theorem 1 of Marchok et al.  The
+1-cycle-prefixed sequences ``0·0·1`` and ``1·0·1`` recover detection in
+C on the 3rd clock cycle (Theorem 4.6's illustration).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.bench.paper_circuits import (
+    FIGURE3_TEST_SEQUENCE,
+    figure3_design_c,
+    figure3_design_d,
+    figure3_fault,
+)
+from repro.logic.ternary import format_ternary_sequence
+from repro.sim.exact import ExactSimulator
+from repro.sim.fault import detects_exact, faulty_overrides
+
+
+def fmt(outs):
+    return format_ternary_sequence(v[0] for v in outs)
+
+
+def run(circuit, fault, test, faulty):
+    sim = ExactSimulator(circuit, overrides=faulty_overrides(fault) if faulty else None)
+    return fmt(sim.outputs(test))
+
+
+def fig3_report():
+    d, c, fault = figure3_design_d(), figure3_design_c(), figure3_fault()
+    t = FIGURE3_TEST_SEQUENCE
+    pre0 = ((False,),) + t
+    pre1 = ((True,),) + t
+    rows = []
+    for label, circuit in (("D", d), ("C", c)):
+        for name, seq in (("0·1", t), ("0·0·1", pre0), ("1·0·1", pre1)):
+            good = run(circuit, fault, seq, faulty=False)
+            bad = run(circuit, fault, seq, faulty=True)
+            verdict = detects_exact(circuit, fault, seq)
+            rows.append(
+                (
+                    label,
+                    name,
+                    good,
+                    bad,
+                    "cycle %d" % (verdict.time_step + 1) if verdict.detected else "MISSED",
+                )
+            )
+    table = ascii_table(
+        ("design", "test", "fault-free", "faulty (%s)" % fault, "detected"), rows
+    )
+    return "%s\n%s" % (
+        banner("Figure 3: the test 0·1 detects %s in D but not in retimed C" % fault),
+        table,
+    )
+
+
+def test_bench_fig3_testing(benchmark, record_artifact):
+    text = benchmark(fig3_report)
+    record_artifact("fig3_testing", text)
+
+    d, c, fault = figure3_design_d(), figure3_design_c(), figure3_fault()
+    t = FIGURE3_TEST_SEQUENCE
+
+    # Detected in D at the 2nd cycle; missed in C.
+    assert detects_exact(d, fault, t).time_step == 1
+    assert not detects_exact(c, fault, t).detected
+
+    # Both 1-cycle-prefixed variants detect in C on the 3rd cycle, with
+    # the unknown-power-up simulation shapes of the paper's discussion
+    # (definite 0 vs definite 1 on that cycle).
+    for warmup in (False, True):
+        seq = ((warmup,),) + t
+        verdict = detects_exact(c, fault, seq)
+        assert verdict.detected and verdict.time_step == 2
+        good = run(c, fault, seq, faulty=False)
+        bad = run(c, fault, seq, faulty=True)
+        assert good.endswith("0·0") and bad.endswith("0·1")

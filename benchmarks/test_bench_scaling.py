@@ -1,0 +1,58 @@
+"""Scaling series -- cost of the validity machinery vs circuit size.
+
+Not a paper artefact, but the series a downstream adopter asks for
+first: how do (a) one CLS simulation cycle sweep, (b) the sampled
+retiming-invariance check, and (c) full min-period retiming scale with
+circuit size?  The correlator family gives a clean one-parameter
+series.  pytest-benchmark records the timing distributions; the shape
+expectation asserted here is only monotone growth of work, not absolute
+numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.generators import correlator
+from repro.retime.apply import lag_to_moves
+from repro.retime.graph import build_retiming_graph
+from repro.retime.leiserson_saxe import min_period_retiming
+from repro.retime.validity import cls_equivalent
+from repro.sim.ternary_sim import cls_outputs
+from repro.logic.ternary import ONE, X, ZERO
+
+SIZES = (6, 12, 24)
+
+_SEQ = [(ZERO,), (ONE,), (X,), (ONE,), (ZERO,), (ONE,), (ONE,), (X,)]
+
+
+@pytest.mark.parametrize("k", SIZES)
+def test_bench_scaling_cls_simulation(benchmark, k):
+    circuit = correlator(k)
+    result = benchmark(cls_outputs, circuit, _SEQ)
+    assert len(result) == len(_SEQ)
+
+
+@pytest.mark.parametrize("k", SIZES)
+def test_bench_scaling_min_period(benchmark, k):
+    circuit = correlator(k)
+
+    def optimise():
+        graph = build_retiming_graph(circuit)
+        return min_period_retiming(graph)
+
+    result = benchmark(optimise)
+    assert result.period <= result.original_period
+
+
+@pytest.mark.parametrize("k", SIZES)
+def test_bench_scaling_invariance_check(benchmark, k):
+    circuit = correlator(k)
+    lag = min_period_retiming(build_retiming_graph(circuit)).lag
+    retimed = lag_to_moves(circuit, lag).current
+
+    result = benchmark.pedantic(
+        cls_equivalent, args=(circuit, retimed), kwargs={"count": 4, "length": 8},
+        rounds=3, iterations=1,
+    )
+    assert result is True

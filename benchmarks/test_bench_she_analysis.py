@@ -1,0 +1,78 @@
+"""Experiment SHE -- the Sequential Hardware Equivalence backdrop.
+
+Pixley's SHE (quoted in the paper's introduction) demands a single
+terminal SCC of the state-minimal machine for behaviour under random
+power-up to be well-defined, and observes that every replacement notion
+requires TSCC equivalence.  The sweep reports, for the paper's pair and
+the benchmark zoo, the quotient sizes, SCC structure, the
+essential-resettability verdict and -- for the D/C pair -- that their
+steady states are equivalent although safe replacement fails (the
+difference lives entirely in the transients).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.bench.iscas import load, names
+from repro.bench.paper_circuits import figure1_design_c, figure1_design_d
+from repro.stg.explicit import extract_stg
+from repro.stg.replaceability import is_safe_replacement
+from repro.stg.scc import she_analysis, steady_state_equivalent
+
+
+def workloads():
+    yield "figure1_D", figure1_design_d()
+    yield "figure1_C", figure1_design_c()
+    for name in names():
+        yield name, load(name)
+
+
+def she_report():
+    rows = []
+    reports = {}
+    for name, circuit in workloads():
+        report = she_analysis(extract_stg(circuit))
+        reports[name] = report
+        rows.append(
+            (
+                name,
+                report.num_states,
+                report.num_blocks,
+                report.num_sccs,
+                report.num_terminal_sccs,
+                "yes" if report.essentially_resettable else "NO",
+            )
+        )
+    table = ascii_table(
+        ("circuit", "states", "minimal states", "SCCs", "TSCCs", "essentially resettable"),
+        rows,
+    )
+    d = extract_stg(figure1_design_d())
+    c = extract_stg(figure1_design_c())
+    coda = (
+        "steady_state_equivalent(C, D) = %s   (their difference is transient-only)\n"
+        "is_safe_replacement(C, D)     = %s   (yet replacement is unsafe)"
+        % (steady_state_equivalent(c, d), is_safe_replacement(c, d))
+    )
+    return (
+        "%s\n%s\n\n%s" % (banner("SHE: TSCC analysis of the workloads"), table, coda),
+        reports,
+    )
+
+
+def test_bench_she_analysis(benchmark, record_artifact):
+    text, reports = benchmark.pedantic(she_report, rounds=1, iterations=1)
+    record_artifact("she_analysis", text)
+
+    # The paper pair: both essentially resettable, equivalent TSCCs,
+    # yet not a safe replacement -- the problem is purely transient.
+    assert reports["figure1_D"].essentially_resettable
+    assert reports["figure1_C"].essentially_resettable
+    d = extract_stg(figure1_design_d())
+    c = extract_stg(figure1_design_c())
+    assert steady_state_equivalent(c, d)
+    assert not is_safe_replacement(c, d)
+
+    # C's quotient: 3 blocks (01 ~ 11), 2 SCCs, single TSCC.
+    assert reports["figure1_C"].num_blocks == 3
+    assert reports["figure1_C"].num_terminal_sccs == 1

@@ -1,0 +1,71 @@
+"""Experiment T1 -- regenerate **Table 1** of the paper.
+
+    Simulation results for D and C on input sequence 0·1·1·1:
+    every power-up state of D outputs 0·0·1·0; C outputs the same from
+    states 00/11/01 but 0·1·0·1 from state 10.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.bench.paper_circuits import (
+    TABLE1_INPUT_SEQUENCE,
+    figure1_design_c,
+    figure1_design_d,
+)
+from repro.logic.ternary import format_ternary_sequence, from_bool
+from repro.sim.binary import BinarySimulator, all_power_up_states, format_state
+
+EXPECTED_D = {"0": "0·0·1·0", "1": "0·0·1·0"}
+EXPECTED_C = {
+    "00": "0·0·1·0",
+    "01": "0·0·1·0",
+    "10": "0·1·0·1",
+    "11": "0·0·1·0",
+}
+
+
+def table1_rows(circuit):
+    """(power-up state, output sequence) rows for one design."""
+    sim = BinarySimulator(circuit)
+    rows = []
+    for state in all_power_up_states(circuit):
+        outs = sim.output_sequence(state, TABLE1_INPUT_SEQUENCE)
+        rows.append(
+            (
+                format_state(state),
+                format_ternary_sequence(from_bool(o[0]) for o in outs),
+            )
+        )
+    return rows
+
+
+def render_table1():
+    rows_d = table1_rows(figure1_design_d())
+    rows_c = table1_rows(figure1_design_c())
+    width = max(len(rows_d), len(rows_c))
+    rows_d += [("", "")] * (width - len(rows_d))
+    rows_c += [("", "")] * (width - len(rows_c))
+    merged = [rd + rc for rd, rc in zip(rows_d, rows_c)]
+    table = ascii_table(
+        (
+            "power-up state of D",
+            "output sequence",
+            "power-up state of C",
+            "output sequence",
+        ),
+        merged,
+    )
+    return "%s\n%s" % (
+        banner("Table 1: simulation results for D and C on input sequence 0·1·1·1"),
+        table,
+    )
+
+
+def test_bench_table1(benchmark, record_artifact):
+    text = benchmark(render_table1)
+    record_artifact("table1", text)
+
+    # The regenerated rows must match the paper exactly.
+    assert dict(table1_rows(figure1_design_d())) == EXPECTED_D
+    assert dict(table1_rows(figure1_design_c())) == EXPECTED_C

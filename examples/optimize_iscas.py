@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Production-style flow: optimise benchmark circuits, verify validity.
+
+For every circuit in the embedded zoo plus the Leiserson-Saxe
+correlator family:
+
+1. extract the retiming graph,
+2. minimum-period retiming (binary search over candidate periods with
+   the FEAS feasibility oracle),
+3. minimum-area retiming at that period (totally-unimodular LP),
+4. realise the lag assignment as a sequence of atomic moves on the
+   net-list, tallying the hazardous ones,
+5. verify the paper's guarantees on the outcome: conservative
+   three-valued simulation cannot tell the optimised circuit from the
+   original, and the Theorem 4.5 delay bound is honoured.
+
+Run:  python examples/optimize_iscas.py
+"""
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.bench.generators import correlator
+from repro.bench.iscas import load, names
+from repro.retime.apply import lag_to_moves
+from repro.retime.graph import build_retiming_graph
+from repro.retime.leiserson_saxe import min_period_retiming
+from repro.retime.min_area import min_area_retiming
+from repro.retime.validity import check_retiming_validity
+
+
+def workloads():
+    for name in names():
+        yield name, load(name)
+    for k in (6, 10, 14):
+        yield "correlator%d" % k, correlator(k)
+
+
+def main() -> None:
+    rows = []
+    for name, circuit in workloads():
+        graph = build_retiming_graph(circuit)
+        minp = min_period_retiming(graph)
+        mina = min_area_retiming(graph, period=minp.period)
+        session = lag_to_moves(circuit, mina.lag)
+        report = check_retiming_validity(session, check_stg=circuit.num_latches <= 8)
+        rows.append(
+            (
+                name,
+                "%d -> %d" % (minp.original_period, minp.period),
+                "%d -> %d" % (mina.original_registers, mina.registers),
+                len(session.history),
+                session.hazardous_move_count,
+                session.theorem45_k,
+                "yes" if report.cls_invariant else "NO",
+                {True: "yes", False: "no", None: "(skipped)"}[report.delayed_implication_holds],
+            )
+        )
+    print(banner("Min-period + min-area retiming with full validity checking"))
+    print(
+        ascii_table(
+            (
+                "circuit",
+                "period",
+                "registers",
+                "moves",
+                "hazardous",
+                "k",
+                "CLS-invariant",
+                "C^k ⊑ D",
+            ),
+            rows,
+        )
+    )
+    print(
+        "\nEvery optimised netlist is indistinguishable from its original under\n"
+        "conservative three-valued simulation (Corollary 5.3), even where the\n"
+        "optimiser needed hazardous forward-junction moves -- the paper's\n"
+        "argument for retiming's place in a 3-valued design methodology."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The paper's Section 6 research program, implemented.
+
+The conclusions sketch two follow-ups: (1) algorithms to *validate*
+three-valued simulation equivalence, and (2) optimisation algorithms
+that preserve only that invariant (not full safe replaceability).  This
+example runs both:
+
+* the complete CLS-equivalence decider on the Figure 1 pair (retiming:
+  equivalent) and on a binary-sound-but-CLS-unsound rewrite (caught,
+  with a minimal distinguishing input sequence);
+* CLS-invariant redundancy removal on a circuit containing both a
+  genuinely redundant gate (removed) and the Section 5
+  complementary-X gate that is constant in reality but must be kept.
+
+Run:  python examples/section6_future_work.py
+"""
+
+from repro.analysis.reporting import banner
+from repro.bench.paper_circuits import figure1_design_c, figure1_design_d
+from repro.netlist.builder import CircuitBuilder
+from repro.optimize.redundancy import remove_cls_redundancies
+from repro.stg.equivalence import machines_equivalent
+from repro.stg.explicit import extract_stg
+from repro.stg.ternary_equiv import decide_cls_equivalence
+
+
+def mixed_circuit():
+    """Absorption-redundant AND (removable) + complementary-X AND
+    (constant in reality, NOT removable under the CLS invariant)."""
+    b = CircuitBuilder("mixed")
+    x = b.input("x")
+    y = b.input("y")
+    x1, x2 = b.fanout(x, 2, name="fx")
+    y1, y2 = b.fanout(y, 2, name="fy")
+    q = b.net("q")
+    q1, q2, q3 = b.fanout(q, 3, name="fq")
+
+    redundant = b.gate("AND", x2, y1, name="absorbed")  # x | (x & y) == x
+    useful = b.gate("OR", x1, redundant, name="outer")
+    b.latch(useful, q, name="ff")
+
+    glitch = b.gate("AND", q1, b.gate("NOT", q2, name="inv"), name="glitch")  # == 0
+    b.output(b.gate("OR", glitch, y2, name="out"))
+    b.output(b.gate("BUF", q3, name="obs"))
+    return b.build()
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Validating three-valued simulation equivalence.
+    # ------------------------------------------------------------------
+    print(banner("(1) deciding CLS equivalence -- retiming passes"))
+    verdict = decide_cls_equivalence(figure1_design_d(), figure1_design_c())
+    print("figure1 D vs C:", "EQUIVALENT" if verdict is None else verdict.describe())
+
+    print()
+    print(banner("(1b) ... and a binary-sound rewrite is caught"))
+    original = mixed_circuit()
+    # "Optimise" the glitch gate to constant 0 -- sound for Boolean
+    # semantics, unsound for the CLS.
+    from repro.optimize.redundancy import substitute_constant
+
+    glitch_net = original.cell("glitch").outputs[0]
+    rewritten = substitute_constant(original, glitch_net, False)
+    print(
+        "binary machines equivalent:",
+        machines_equivalent(extract_stg(original), extract_stg(rewritten)),
+    )
+    witness = decide_cls_equivalence(original, rewritten)
+    print("CLS verdict:", "EQUIVALENT" if witness is None else "DIFFER")
+    if witness is not None:
+        print("  minimal distinguishing run:", witness.describe())
+
+    # ------------------------------------------------------------------
+    # 2. Optimisation preserving only the 3-valued invariant.
+    # ------------------------------------------------------------------
+    print()
+    print(banner("(2) CLS-invariant redundancy removal"))
+    report = remove_cls_redundancies(original)
+    print(report.summary())
+    print("substitutions applied:", report.substitutions)
+    print("absorbed gate removed:  ", not report.circuit.has_cell("absorbed"))
+    print("glitch gate kept:       ", report.circuit.has_cell("glitch"))
+    check = decide_cls_equivalence(original, report.circuit)
+    print("result CLS-equivalent:  ", check is None)
+    print(
+        "\nThe optimizer removes logic a Boolean-equivalence optimizer would\n"
+        "remove ONLY when the three-valued simulator cannot tell -- so a\n"
+        "CLS-signed-off design stays signed off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""repro -- a reproduction of "The Validity of Retiming Sequential
+Circuits" (Singhal, Pixley, Rudell, Brayton; UCB/ERL M94/79, DAC 1995).
+
+The library implements the paper's full stack:
+
+* :mod:`repro.logic` -- ternary (0/1/X) algebra, the combinational cell
+  library, and justifiability analysis of multi-output cells;
+* :mod:`repro.netlist` -- the gate-level sequential circuit model with
+  explicit ``JUNC`` fanout junctions, transforms, and ``.bench`` I/O;
+* :mod:`repro.sim` -- binary, conservative three-valued (CLS), exact
+  (all-power-up-state) and stuck-at-fault simulation;
+* :mod:`repro.stg` -- explicit state-transition graphs, state
+  equivalence, machine implication ``⊑``, safe replacement ``≼``,
+  delayed designs ``D^n`` and SHE's TSCC analysis;
+* :mod:`repro.retime` -- atomic retiming moves with the paper's hazard
+  classification, the Leiserson-Saxe graph model, min-period and
+  min-area retiming, and end-to-end validity checking;
+* :mod:`repro.bench` -- the paper's Figure 1/3 circuits, an ISCAS-89
+  zoo, and parameterised workload generators;
+* :mod:`repro.analysis` -- test-set preservation (Theorem 4.6) and
+  report formatting.
+
+Quickstart::
+
+    from repro import figure1_design_d, RetimingSession, cls_outputs
+    from repro.logic import parse_ternary_string
+
+    d = figure1_design_d()
+    session = RetimingSession(d)
+    session.forward("fanQ")                    # the hazardous move
+    pi = [(v,) for v in parse_ternary_string("0·1·1·1")]
+    assert cls_outputs(d, pi) == cls_outputs(session.current, pi)
+
+See ``examples/`` for complete walkthroughs and ``benchmarks/`` for the
+experiment harness regenerating every table and figure of the paper.
+"""
+
+from .logic import (  # noqa: F401
+    ONE,
+    T,
+    X,
+    ZERO,
+    format_ternary_sequence,
+    parse_ternary_string,
+)
+from .netlist import (  # noqa: F401
+    Circuit,
+    CircuitBuilder,
+    normalize_fanout,
+    parse_bench,
+    validate,
+    write_bench,
+)
+from .sim import (  # noqa: F401
+    BinarySimulator,
+    ExactSimulator,
+    StuckAtFault,
+    TernarySimulator,
+    cls_outputs,
+    detects_cls,
+    detects_exact,
+    exact_outputs,
+    is_initializing_sequence,
+)
+from .stg import (  # noqa: F401
+    STG,
+    delay_needed_for_implication,
+    extract_stg,
+    implies,
+    is_safe_replacement,
+    machines_equivalent,
+    she_analysis,
+)
+from .retime import (  # noqa: F401
+    RetimingSession,
+    build_retiming_graph,
+    check_retiming_validity,
+    cls_equivalent,
+    lag_to_moves,
+    min_area_retiming,
+    min_period_retiming,
+    realize,
+)
+from .stg import (  # noqa: F401
+    cls_equivalent_exhaustive,
+    decide_cls_equivalence,
+)
+from .bench import (  # noqa: F401
+    figure1_design_c,
+    figure1_design_d,
+    figure3_design_c,
+    figure3_design_d,
+    figure3_fault,
+)
+from .optimize import remove_cls_redundancies  # noqa: F401
+
+__version__ = "1.0.0"

@@ -1,0 +1,10 @@
+"""Cross-cutting analyses: testability preservation, reporting."""
+
+from .reporting import ascii_table, banner  # noqa: F401
+from .testability import (  # noqa: F401
+    PreservationReport,
+    delayed_tests,
+    preservation_report,
+    is_test_preserved_delayed,
+    is_test_preserved_directly,
+)

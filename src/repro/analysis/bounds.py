@@ -1,0 +1,77 @@
+"""Structural bounds on retiming delay (Section 4's closing remark).
+
+After Theorem 4.5 the paper notes:
+
+    "the maximum number of forward retiming moves across any gate can
+     be bounded by the maximum number of registers in any simple cycle
+     in the circuit", where cycles may pass from the primary outputs
+     through the host to the primary inputs.
+
+This module computes that bound on the Leiserson-Saxe retiming graph:
+fuse the two host halves back into the single host vertex of the
+classical model (so PO -> host -> PI paths close cycles, per the
+paper's footnote 4) and maximise the edge-weight sum over simple
+cycles.  Simple-cycle enumeration is exponential in general; the graphs
+here are tiny and :data:`MAX_CYCLES` guards the search.
+
+Consequence made checkable: for any retiming realised by
+:func:`repro.retime.apply.lag_to_moves`, the session's Theorem 4.5 `k`
+never exceeds this structural bound -- a property the test-suite
+verifies on random circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import networkx as nx
+
+from ..netlist.circuit import Circuit
+from ..retime.graph import HOST, HOST_OUT, RetimingGraph, build_retiming_graph
+
+__all__ = ["MAX_CYCLES", "max_registers_on_simple_cycle", "retiming_delay_bound"]
+
+MAX_CYCLES = 100_000
+
+
+def _fused_digraph(graph: RetimingGraph) -> nx.MultiDiGraph:
+    g = nx.MultiDiGraph()
+    for vertex in graph.vertices:
+        g.add_node(HOST if vertex == HOST_OUT else vertex)
+    for edge in graph.edges:
+        u = HOST if edge.u == HOST_OUT else edge.u
+        v = HOST if edge.v == HOST_OUT else edge.v
+        g.add_edge(u, v, weight=edge.weight)
+    return g
+
+
+def max_registers_on_simple_cycle(
+    graph: RetimingGraph, *, max_cycles: int = MAX_CYCLES
+) -> int:
+    """The maximum total edge weight over simple cycles of the fused
+    (single-host) retiming graph; 0 if the graph is acyclic.
+
+    Raises :class:`MemoryError` past *max_cycles* enumerated cycles.
+    """
+    g = _fused_digraph(graph)
+    best = 0
+    count = 0
+    for cycle in nx.simple_cycles(g):
+        count += 1
+        if count > max_cycles:
+            raise MemoryError("more than %d simple cycles" % max_cycles)
+        # MultiDiGraph: take the heaviest parallel edge for each hop
+        # (a simple cycle visiting u->v can use any parallel edge).
+        total = 0
+        n = len(cycle)
+        for i in range(n):
+            u, v = cycle[i], cycle[(i + 1) % n]
+            data = g.get_edge_data(u, v)
+            total += max(attrs["weight"] for attrs in data.values())
+        best = max(best, total)
+    return best
+
+
+def retiming_delay_bound(circuit: Circuit, **kwargs) -> int:
+    """The paper's structural bound on Theorem 4.5's k for *circuit*."""
+    return max_registers_on_simple_cycle(build_retiming_graph(circuit), **kwargs)

@@ -1,0 +1,46 @@
+"""ASCII reporting helpers used by the benchmarks and examples.
+
+The benchmark harness prints the same rows the paper's tables show;
+these helpers keep that formatting in one place (monospace tables,
+paper-style dotted ternary sequences).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["ascii_table", "banner"]
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, indent: str = ""
+) -> str:
+    """Render a simple aligned ASCII table.
+
+    >>> print(ascii_table(("a", "b"), [(1, "x"), (22, "yy")]))
+    a  | b
+    ---+---
+    1  | x
+    22 | yy
+    """
+    materialised: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        materialised.append([str(cell) for cell in row])
+    widths = [
+        max(len(row[col]) for row in materialised)
+        for col in range(len(materialised[0]))
+    ]
+
+    def fmt(row: List[str]) -> str:
+        return indent + " | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+
+    lines = [fmt(materialised[0])]
+    lines.append(indent + "-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in materialised[1:])
+    return "\n".join(lines)
+
+
+def banner(title: str, *, width: int = 72) -> str:
+    """A section banner for benchmark output."""
+    bar = "=" * width
+    return "%s\n%s\n%s" % (bar, title, bar)

@@ -1,0 +1,119 @@
+"""Test-set preservation analysis (Section 2.2 and Theorem 4.6).
+
+Marchok et al. claimed retiming preserves single-stuck-at test sets
+outright; the paper's Figure 3 refutes that, and Theorem 4.6 repairs
+the claim for *delayed* designs: if C is obtained from D with at most k
+forward retiming moves, then a test set for D is a test set for
+``C^k`` -- i.e. the tests still work provided k arbitrary clock cycles
+are inserted before applying them.
+
+This module makes both directions executable:
+
+* :func:`delayed_tests` -- all k-cycle-prefixed variants of a test;
+* :func:`is_test_preserved_directly` -- does the *unmodified* test still
+  detect the fault in the retimed circuit (the property Figure 3 shows
+  can fail)?
+* :func:`is_test_preserved_delayed` -- does *every* k-prefixed variant
+  detect it (the property Theorem 4.6 guarantees)?
+* :func:`preservation_report` -- both, for a whole test set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..netlist.circuit import Circuit
+from ..sim.fault import StuckAtFault, detects_exact
+
+__all__ = [
+    "delayed_tests",
+    "is_test_preserved_directly",
+    "is_test_preserved_delayed",
+    "PreservationReport",
+    "preservation_report",
+]
+
+BoolVec = Tuple[bool, ...]
+Test = Tuple[BoolVec, ...]
+
+
+def delayed_tests(test: Sequence[Sequence[bool]], k: int, num_inputs: int) -> Tuple[Test, ...]:
+    """All ``2**(k * num_inputs)`` k-cycle-prefixed variants of *test*.
+
+    Theorem 4.6 quantifies over arbitrary warm-up inputs; enumerating
+    the prefixes makes "for every warm-up" checkable.  Guarded to small
+    ``k * num_inputs`` (the delays the paper's bound produces are tiny).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k * num_inputs > 16:
+        raise ValueError("prefix space 2**%d too large to enumerate" % (k * num_inputs))
+    body = tuple(tuple(bool(v) for v in vec) for vec in test)
+    variants: List[Test] = []
+    for prefix_bits in itertools.product((False, True), repeat=k * num_inputs):
+        prefix = tuple(
+            tuple(prefix_bits[cycle * num_inputs : (cycle + 1) * num_inputs])
+            for cycle in range(k)
+        )
+        variants.append(prefix + body)
+    return tuple(variants)
+
+
+def is_test_preserved_directly(
+    retimed: Circuit, fault: StuckAtFault, test: Sequence[Sequence[bool]]
+) -> bool:
+    """Does the unmodified *test* detect *fault* in the retimed circuit?
+
+    Figure 3's point is that this may be ``False`` even though the test
+    worked on the original design.
+    """
+    return detects_exact(retimed, fault, test).detected
+
+
+def is_test_preserved_delayed(
+    retimed: Circuit, fault: StuckAtFault, test: Sequence[Sequence[bool]], k: int
+) -> bool:
+    """Does every k-cycle-prefixed variant of *test* detect *fault*?
+
+    This is the Theorem 4.6 guarantee for ``C^k``: after k arbitrary
+    warm-up cycles the original test distinguishes faulty from
+    fault-free, whatever the warm-up inputs were.
+    """
+    for variant in delayed_tests(test, k, len(retimed.inputs)):
+        if not detects_exact(retimed, fault, variant).detected:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class PreservationReport:
+    """Per-(fault, test) preservation verdicts across a retiming.
+
+    ``detected_in_original`` / ``detected_in_retimed`` use the plain
+    test; ``detected_in_delayed`` uses all k-prefixed variants.
+    """
+
+    fault: StuckAtFault
+    detected_in_original: bool
+    detected_in_retimed: bool
+    detected_in_delayed: bool
+    k: int
+
+
+def preservation_report(
+    original: Circuit,
+    retimed: Circuit,
+    fault: StuckAtFault,
+    test: Sequence[Sequence[bool]],
+    k: int,
+) -> PreservationReport:
+    """Evaluate one fault/test pair across a retiming with delay *k*."""
+    return PreservationReport(
+        fault=fault,
+        detected_in_original=detects_exact(original, fault, test).detected,
+        detected_in_retimed=is_test_preserved_directly(retimed, fault, test),
+        detected_in_delayed=is_test_preserved_delayed(retimed, fault, test, k),
+        k=k,
+    )

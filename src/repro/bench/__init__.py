@@ -1,0 +1,20 @@
+"""Benchmark workloads: paper circuits, ISCAS zoo, generators."""
+
+from .paper_circuits import (  # noqa: F401
+    FIGURE3_TEST_SEQUENCE,
+    TABLE1_INPUT_SEQUENCE,
+    figure1_design_c,
+    figure1_design_d,
+    figure3_design_c,
+    figure3_design_d,
+    figure3_fault,
+)
+from .iscas import BENCHMARKS, load, names  # noqa: F401
+from .generators import (  # noqa: F401
+    correlator,
+    counter_circuit,
+    lfsr_circuit,
+    pipeline_circuit,
+    random_sequential_circuit,
+    shift_register,
+)

@@ -1,0 +1,170 @@
+"""The concrete circuits of the paper's Figures 1-3.
+
+The scanned paper's figures are not machine-readable, so the circuits
+here are *reconstructed* from the paper's own numeric constraints; the
+reconstruction is forced (up to renaming) by the following facts stated
+in the text:
+
+Figure 1 (designs D and C)
+--------------------------
+
+* D has one latch; C is obtained by one forward retiming move across a
+  2-way fanout junction, so C has two latches (Table 1 lists 2 states
+  for D, 4 for C).
+* Table 1: on input ``0·1·1·1``, every power-up state of D outputs
+  ``0·0·1·0``; C outputs the same from states 00/11/01 but ``0·1·0·1``
+  from state 10.
+* D is initialised to state 0 by the length-1 input sequence ``0``; C
+  is not initialised by it (Figure 2), and ``C^1`` is equivalent to D.
+* Section 5: D contains an AND gate ("AND gate-1") whose output is 0
+  whether the latch holds 0 or 1 *when the primary input is 0*, which
+  is why input 0 resets the latch -- yet a CLS sees X on **both** of
+  its inputs because they are complementary functions of the latch.
+
+Writing the latch value Q and the input I, these constraints pin down
+(as Mealy functions)::
+
+    output      O = AND(I, Q)
+    next state  P = AND(OR(I, Q), NOT(Q))     # "AND gate-1"
+
+With I = 0 the AND gate-1 computes ``AND(Q, NOT Q) = 0`` -- definitely
+0, but ``AND(X, X) = X`` for a CLS, exactly the paper's narrative.  The
+latch output Q fans out through a junction whose two branches feed the
+OR gate and (via a second junction) the NOT gate and the output AND;
+the hazardous retiming move crosses the **first** junction, yielding
+two latches Q1 (feeding OR) and Q2 (feeding NOT and the output AND).
+Every row of Table 1, the initialisation claims, and the exact/CLS
+simulation results of Section 2.1 are reproduced verbatim by this
+reconstruction (see ``benchmarks/test_bench_table1.py``).
+
+Figure 3 (testing example)
+--------------------------
+
+The text ties Figure 3's circuits to the Figure 2 STGs ("see the STG
+for C in Figure 2"), so we model Figure 3 as the same circuit pair with
+the marked stuck-at-1 fault placed on the fanout branch of Q2 that
+feeds the output AND gate (net ``q2b``).  This reproduces the claims of
+Section 2.2:
+
+* fault-free D outputs ``0·0`` on test ``0·1`` from every power-up
+  state; the faulty D outputs ``0·1`` -- so ``0·1`` tests the fault;
+* fault-free C may output ``0·0`` or ``0·1`` on ``0·1`` depending on
+  power-up, while faulty C always outputs ``0·1`` -- the test is lost;
+* per Theorem 4.6, the 1-cycle-prefixed sequences ``0·0·1`` and
+  ``1·0·1`` do test the fault in C, distinguishing fault-free from
+  faulty on the 3rd clock cycle (simulated outputs ``X·0·0`` vs
+  ``X·0·1`` with an unknown power-up state, the ``X`` resolving to the
+  first input's effect).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..logic.functions import junction
+from ..netlist.builder import CircuitBuilder
+from ..netlist.circuit import Circuit
+from ..sim.fault import StuckAtFault
+
+__all__ = [
+    "figure1_design_d",
+    "figure1_design_c",
+    "figure3_design_d",
+    "figure3_design_c",
+    "figure3_fault",
+    "TABLE1_INPUT_SEQUENCE",
+    "FIGURE3_TEST_SEQUENCE",
+]
+
+#: Table 1's input sequence ``0·1·1·1`` as one-bit vectors.
+TABLE1_INPUT_SEQUENCE: Tuple[Tuple[bool, ...], ...] = (
+    (False,),
+    (True,),
+    (True,),
+    (True,),
+)
+
+#: Section 2.2's test sequence ``0·1``.
+FIGURE3_TEST_SEQUENCE: Tuple[Tuple[bool, ...], ...] = ((False,), (True,))
+
+
+def figure1_design_d() -> Circuit:
+    """The original design D of Figure 1 (one latch).
+
+    Net-list (all fanout explicit through JUNC cells, as the paper's
+    Section 3.2 model requires)::
+
+        (i1, i2)   = JUNC2(I)
+        Q          = latch(P)
+        (q1, q2)   = JUNC2(Q)       # the hazardous junction
+        (q2a, q2b) = JUNC2(q2)
+        w  = OR(i1, q1)
+        v  = NOT(q2a)
+        P  = AND(w, v)              # "AND gate-1"
+        O  = AND(i2, q2b)           # output gate
+    """
+    b = CircuitBuilder("figure1_D")
+    i = b.input("I")
+    i1, i2 = b.fanout(i, 2, name="fanI")
+    q = b.net("Q")
+    q1, q2 = b.cell(junction(2), [q], name="fanQ", outs=("q1", "q2"))
+    q2a, q2b = b.cell(junction(2), [q2], name="fanQ2", outs=("q2a", "q2b"))
+    w = b.gate("OR", i1, q1, name="or1", out="w")
+    v = b.gate("NOT", q2a, name="inv1", out="v")
+    p = b.gate("AND", w, v, name="and1", out="P")
+    b.latch(p, q, name="L")
+    o = b.gate("AND", i2, q2b, name="and2", out="O")
+    b.output(o)
+    return b.build()
+
+
+def figure1_design_c() -> Circuit:
+    """The retimed design C of Figure 1 (two latches).
+
+    Obtained from D by one forward retiming move of the latch across
+    the 2-way junction on Q: the junction now splits the AND gate-1
+    output P, and each branch gets its own latch.  The latch state
+    order is (Q1, Q2) with Q1 feeding the OR gate and Q2 feeding the
+    NOT gate and the output AND -- Table 1's state ``10`` is
+    ``(Q1, Q2) = (1, 0)``.
+    """
+    b = CircuitBuilder("figure1_C")
+    i = b.input("I")
+    i1, i2 = b.fanout(i, 2, name="fanI")
+    q1 = b.net("Q1")
+    q2 = b.net("Q2")
+    q2a, q2b = b.cell(junction(2), [q2], name="fanQ2", outs=("q2a", "q2b"))
+    w = b.gate("OR", i1, q1, name="or1", out="w")
+    v = b.gate("NOT", q2a, name="inv1", out="v")
+    p = b.gate("AND", w, v, name="and1", out="P")
+    p1, p2 = b.cell(junction(2), [p], name="fanQ", outs=("p1", "p2"))
+    b.latch(p1, q1, name="L1")
+    b.latch(p2, q2, name="L2")
+    o = b.gate("AND", i2, q2b, name="and2", out="O")
+    b.output(o)
+    return b.build()
+
+
+def figure3_design_d() -> Circuit:
+    """Figure 3's original design D (same structure as Figure 1's D)."""
+    circuit = figure1_design_d()
+    circuit.name = "figure3_D"
+    return circuit
+
+
+def figure3_design_c() -> Circuit:
+    """Figure 3's retimed design C (same structure as Figure 1's C)."""
+    circuit = figure1_design_c()
+    circuit.name = "figure3_C"
+    return circuit
+
+
+def figure3_fault() -> StuckAtFault:
+    """The marked stuck-at-1 fault of Figure 3.
+
+    Placed on net ``q2b`` -- the fanout branch of the latched signal
+    that feeds the output AND gate.  The net exists under the same name
+    in both D and C, so the same fault object can be injected into
+    either design, as the testing argument of Section 2.2 requires.
+    """
+    return StuckAtFault("q2b", True)

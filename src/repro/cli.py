@@ -1,0 +1,392 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands:
+
+``info``        circuit statistics, clock period, SHE analysis
+``simulate``    binary / conservative-ternary / exact simulation
+                (optionally dumping a VCD waveform)
+``retime``      min-period and/or min-area retiming, writing .bench out
+``check``       verify a retimed circuit against its original (sampled,
+                exhaustive-CLS, and STG implication where tractable)
+``atpg``        generate a stuck-at test set
+``redundancy``  CLS-invariant redundancy removal (Section 6 program)
+``paper``       replay the paper's Figure 1 story on the console
+
+All commands read and write ISCAS-89 ``.bench`` files, the format the
+benchmark circuits of the paper's era shipped in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.reporting import ascii_table, banner
+from .logic.ternary import format_ternary_sequence, parse_ternary_string, to_ternary
+from .netlist.io_bench import parse_bench, write_bench
+from .netlist.transform import normalize_fanout
+from .netlist.validate import validate
+from .retime.apply import lag_to_moves, realize
+from .retime.graph import build_retiming_graph
+from .retime.leiserson_saxe import min_period_retiming
+from .retime.min_area import min_area_retiming
+from .retime.validity import cls_equivalent
+from .sim.atpg import generate_tests
+from .sim.binary import BinarySimulator, parse_state
+from .sim.exact import exact_outputs
+from .sim.ternary_sim import TernarySimulator
+from .stg.explicit import extract_stg
+from .stg.scc import she_analysis
+from .stg.ternary_equiv import decide_cls_equivalence
+
+__all__ = ["main"]
+
+
+def _load(path: str, *, normalize: bool = True):
+    """Load a circuit, dispatching on extension (.blif vs .bench)."""
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".blif"):
+        from .netlist.io_blif import parse_blif
+
+        circuit = parse_blif(text, name=path).circuit
+    else:
+        circuit = parse_bench(text, name=path)
+    if normalize:
+        circuit = normalize_fanout(circuit)
+    validate(circuit)
+    return circuit
+
+
+def _write_circuit(circuit, path: str, header: str) -> None:
+    """Write a circuit, dispatching on extension (.blif vs .bench)."""
+    if path.endswith(".blif"):
+        from .netlist.io_blif import write_blif
+
+        text = write_blif(circuit)
+    else:
+        text = write_bench(circuit, header=header)
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def _parse_sequence(text: str, width: int):
+    """Parse ``01,10,11`` (one vector per cycle) or ``0111`` (single
+    input) into a list of ternary vectors."""
+    if "," in text:
+        vectors = [parse_ternary_string(chunk) for chunk in text.split(",")]
+    else:
+        vectors = [(v,) for v in parse_ternary_string(text)]
+    for vector in vectors:
+        if len(vector) != width:
+            raise SystemExit(
+                "input vector %s has width %d, circuit has %d inputs"
+                % (format_ternary_sequence(vector, sep=""), len(vector), width)
+            )
+    return vectors
+
+
+# ---------------------------------------------------------------------------
+# Subcommands.
+# ---------------------------------------------------------------------------
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    circuit = _load(args.circuit)
+    print(banner("circuit %s" % args.circuit))
+    print(circuit.pretty())
+    graph = build_retiming_graph(circuit)
+    print()
+    print("clock period (unit delays): %d" % graph.clock_period())
+    print("registers:                  %d" % graph.num_registers)
+    bits = circuit.num_latches + len(circuit.inputs)
+    if bits <= args.max_stg_bits:
+        report = she_analysis(extract_stg(circuit))
+        print(
+            "SHE: %d states, %d minimal, %d SCCs, %d TSCC(s) -> %s"
+            % (
+                report.num_states,
+                report.num_blocks,
+                report.num_sccs,
+                report.num_terminal_sccs,
+                "essentially resettable"
+                if report.essentially_resettable
+                else "NOT essentially resettable",
+            )
+        )
+    else:
+        print("SHE: skipped (state space over 2**%d)" % args.max_stg_bits)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    circuit = _load(args.circuit)
+    sequence = _parse_sequence(args.sequence, len(circuit.inputs))
+    trace_for_vcd = None
+    if args.mode == "cls":
+        trace = TernarySimulator(circuit).run_from_unknown(sequence)
+        trace_for_vcd = trace
+        rows = [
+            (
+                cycle,
+                format_ternary_sequence(trace.inputs[cycle], sep=""),
+                format_ternary_sequence(trace.outputs[cycle], sep=""),
+                format_ternary_sequence(trace.states[cycle + 1], sep=""),
+            )
+            for cycle in range(len(trace))
+        ]
+        print(ascii_table(("cycle", "inputs", "outputs", "state after"), rows))
+    elif args.mode == "exact":
+        bool_seq = [
+            tuple(v.value == 1 for v in vec) for vec in sequence
+        ]
+        if any(v.value == 2 for vec in sequence for v in vec):
+            raise SystemExit("exact simulation needs a definite input sequence")
+        outs = exact_outputs(circuit, bool_seq)
+        rows = [
+            (cycle, format_ternary_sequence(out, sep=""))
+            for cycle, out in enumerate(outs)
+        ]
+        print(ascii_table(("cycle", "outputs (all power-up states)"), rows))
+    else:  # binary
+        if args.state is None:
+            raise SystemExit("--state is required for binary simulation")
+        state = parse_state(args.state)
+        bool_seq = [tuple(v.value == 1 for v in vec) for vec in sequence]
+        trace = BinarySimulator(circuit).run(state, bool_seq)
+        trace_for_vcd = trace
+        rows = [
+            (
+                cycle,
+                "".join("1" if b else "0" for b in trace.inputs[cycle]),
+                "".join("1" if b else "0" for b in trace.outputs[cycle]),
+                "".join("1" if b else "0" for b in trace.states[cycle + 1]),
+            )
+            for cycle in range(len(trace))
+        ]
+        print(ascii_table(("cycle", "inputs", "outputs", "state after"), rows))
+    if args.vcd:
+        if trace_for_vcd is None:
+            raise SystemExit("--vcd needs binary or cls mode (a full trace)")
+        from .sim.vcd import trace_to_vcd
+
+        with open(args.vcd, "w") as handle:
+            handle.write(trace_to_vcd(circuit, trace_for_vcd))
+        print("wrote %s" % args.vcd)
+    return 0
+
+
+def cmd_redundancy(args: argparse.Namespace) -> int:
+    from .optimize.redundancy import remove_cls_redundancies
+
+    circuit = _load(args.circuit)
+    report = remove_cls_redundancies(circuit, max_pairs=args.max_pairs)
+    print(banner("CLS-invariant redundancy removal on %s" % args.circuit))
+    print(report.summary())
+    for net, value in report.substitutions:
+        print("  %s := %d" % (net, int(value)))
+    if args.output:
+        _write_circuit(
+            report.circuit, args.output, "redundancy-removed from %s" % args.circuit
+        )
+        print("wrote %s" % args.output)
+    return 0
+
+
+def cmd_retime(args: argparse.Namespace) -> int:
+    from .retime.delay_models import delay_model
+
+    circuit = _load(args.circuit)
+    graph = build_retiming_graph(circuit, delays=delay_model(circuit, args.delay_model))
+    minp = min_period_retiming(graph)
+    if args.period is not None:
+        period = args.period
+    elif args.objective == "min-period":
+        period = minp.period
+    else:
+        period = None
+
+    if args.objective == "min-period" and args.period is None:
+        lag = minp.lag
+        achieved_period = minp.period
+    else:
+        result = min_area_retiming(graph, period=period)
+        lag = result.lag
+        achieved_period = result.period
+
+    session = lag_to_moves(circuit, lag)
+    retimed = session.current
+    after = build_retiming_graph(
+        retimed, delays=delay_model(retimed, args.delay_model)
+    )
+    print(banner("retiming %s (%s)" % (args.circuit, args.objective)))
+    print("period:    %d -> %d" % (graph.clock_period(), after.clock_period()))
+    print("registers: %d -> %d" % (graph.num_registers, after.num_registers))
+    print(session.summary())
+    if not cls_equivalent(circuit, retimed, count=6, length=10):
+        print("WARNING: CLS invariance check failed -- this is a bug", file=sys.stderr)
+        return 2
+    print("CLS invariance (sampled): OK")
+    if args.output:
+        _write_circuit(retimed, args.output, "retimed from %s" % args.circuit)
+        print("wrote %s" % args.output)
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    original = _load(args.original)
+    retimed = _load(args.retimed)
+    print(banner("checking %s against %s" % (args.retimed, args.original)))
+    sampled = cls_equivalent(original, retimed, count=args.samples, length=args.length)
+    print("CLS equivalence (sampled %d sequences): %s" % (args.samples, sampled))
+    verdict = 0 if sampled else 1
+    if args.exhaustive:
+        witness = decide_cls_equivalence(original, retimed)
+        if witness is None:
+            print("CLS equivalence (exhaustive): EQUIVALENT")
+        else:
+            print("CLS equivalence (exhaustive): DIFFER -- %s" % witness.describe())
+            verdict = 1
+    if args.stg:
+        bits = max(
+            original.num_latches + len(original.inputs),
+            retimed.num_latches + len(retimed.inputs),
+        )
+        if bits > args.max_stg_bits:
+            print("STG analysis: skipped (state space over 2**%d)" % args.max_stg_bits)
+        else:
+            from .stg.delayed import delay_needed_for_implication
+            from .stg.equivalence import implies
+            from .stg.replaceability import is_safe_replacement
+
+            o_stg = extract_stg(original)
+            r_stg = extract_stg(retimed)
+            print("implication  (retimed ⊑ original):", implies(r_stg, o_stg))
+            print(
+                "safe replacement (retimed ≼ original):",
+                is_safe_replacement(r_stg, o_stg),
+            )
+            print(
+                "least n with retimed^n ⊑ original:",
+                delay_needed_for_implication(r_stg, o_stg),
+            )
+    return verdict
+
+
+def cmd_atpg(args: argparse.Namespace) -> int:
+    circuit = _load(args.circuit)
+    result = generate_tests(
+        circuit,
+        semantics=args.semantics,
+        max_attempts=args.attempts,
+        max_length=args.length,
+        seed=args.seed,
+    )
+    print(banner("ATPG for %s (%s semantics)" % (args.circuit, args.semantics)))
+    print(result.summary())
+    for index, test in enumerate(result.tests):
+        print(
+            "test %d: %s"
+            % (index, ",".join("".join("1" if b else "0" for b in vec) for vec in test))
+        )
+    if result.undetected and args.verbose:
+        print("undetected: %s" % ", ".join(str(f) for f in result.undetected))
+    return 0
+
+
+def cmd_paper(args: argparse.Namespace) -> int:
+    from .bench.paper_circuits import TABLE1_INPUT_SEQUENCE, figure1_design_c, figure1_design_d
+    from .sim.ternary_sim import cls_outputs
+
+    d, c = figure1_design_d(), figure1_design_c()
+    seq = TABLE1_INPUT_SEQUENCE
+    print(banner("The Validity of Retiming Sequential Circuits -- Figure 1"))
+    print("exact D: %s" % format_ternary_sequence(v[0] for v in exact_outputs(d, seq)))
+    print("exact C: %s" % format_ternary_sequence(v[0] for v in exact_outputs(c, seq)))
+    t_seq = [tuple(to_ternary(v) for v in vec) for vec in seq]
+    print("CLS   D: %s" % format_ternary_sequence(v[0] for v in cls_outputs(d, t_seq)))
+    print("CLS   C: %s" % format_ternary_sequence(v[0] for v in cls_outputs(c, t_seq)))
+    print()
+    print(
+        "Retiming changed what an exact simulator sees, but not what the\n"
+        "conservative three-valued simulator sees (Corollary 5.3)."
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing.
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Retiming-validity toolkit (Singhal/Pixley/Rudell/Brayton, DAC'95)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="circuit statistics and SHE analysis")
+    p.add_argument("circuit")
+    p.add_argument("--max-stg-bits", type=int, default=16)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("simulate", help="simulate a .bench circuit")
+    p.add_argument("circuit")
+    p.add_argument("--sequence", required=True, help="e.g. '0111' or '01,10,11'")
+    p.add_argument("--mode", choices=("binary", "cls", "exact"), default="cls")
+    p.add_argument("--state", help="power-up state for binary mode, e.g. '010'")
+    p.add_argument("--vcd", help="write the trace as a VCD waveform here")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("retime", help="optimise a circuit by retiming")
+    p.add_argument("circuit")
+    p.add_argument("--objective", choices=("min-period", "min-area"), default="min-period")
+    p.add_argument("--period", type=int, help="period constraint for min-area")
+    p.add_argument(
+        "--delay-model", choices=("unit", "loaded"), default="unit",
+        help="gate delay table used for period computation",
+    )
+    p.add_argument("-o", "--output", help="write the retimed .bench here")
+    p.set_defaults(func=cmd_retime)
+
+    p = sub.add_parser("check", help="verify retimed vs original")
+    p.add_argument("original")
+    p.add_argument("retimed")
+    p.add_argument("--samples", type=int, default=20)
+    p.add_argument("--length", type=int, default=12)
+    p.add_argument("--exhaustive", action="store_true")
+    p.add_argument("--stg", action="store_true", help="also run STG implication analysis")
+    p.add_argument("--max-stg-bits", type=int, default=16)
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("redundancy", help="CLS-invariant redundancy removal")
+    p.add_argument("circuit")
+    p.add_argument("-o", "--output", help="write the optimised .bench here")
+    p.add_argument("--max-pairs", type=int, default=50_000)
+    p.set_defaults(func=cmd_redundancy)
+
+    p = sub.add_parser("atpg", help="generate a stuck-at test set")
+    p.add_argument("circuit")
+    p.add_argument("--semantics", choices=("exact", "cls"), default="exact")
+    p.add_argument("--attempts", type=int, default=100)
+    p.add_argument("--length", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_atpg)
+
+    p = sub.add_parser("paper", help="replay the paper's Figure 1 story")
+    p.set_defaults(func=cmd_paper)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,440 @@
+"""Reduced Ordered Binary Decision Diagrams, from scratch.
+
+The verification layer the paper's community ran on (Pixley's SHE
+implementation [Pix92], the safe-replacement checks of [PSAB94]) was
+built on ROBDDs.  This module provides a compact, dependency-free BDD
+manager sufficient for the symbolic analyses in
+:mod:`repro.stg.symbolic`:
+
+* hash-consed nodes (a *unique table*), so equality of functions is
+  pointer equality of node indices;
+* the Shannon-expansion ``ite`` (if-then-else) core with memoisation,
+  from which all Boolean connectives derive;
+* restriction (cofactors), existential/universal quantification over
+  variable sets, variable-to-variable renaming (the next-state <->
+  current-state substitution of image computation);
+* satisfy-one, model counting and support extraction.
+
+Variable order is the order of :meth:`BDDManager.variable` calls (an
+explicit ``order`` index can interleave).  No dynamic reordering -- the
+circuits here are small and a fixed topological-ish order works fine.
+
+Node representation: index into parallel arrays; node 0 is the constant
+FALSE, node 1 the constant TRUE.  Every node satisfies the ROBDD
+invariants (``low != high``, children below the node's variable), so
+semantic equivalence really is index equality -- a property the test
+suite checks against brute-force truth tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["BDDManager", "BDD"]
+
+FALSE_INDEX = 0
+TRUE_INDEX = 1
+
+
+class BDD:
+    """A handle to one function in a :class:`BDDManager`.
+
+    Handles support the Boolean operators (``&``, ``|``, ``^``, ``~``)
+    and comparisons; they are only meaningful within their manager.
+    """
+
+    __slots__ = ("manager", "index")
+
+    def __init__(self, manager: "BDDManager", index: int) -> None:
+        self.manager = manager
+        self.index = index
+
+    # -- operators -------------------------------------------------------
+
+    def _check(self, other: "BDD") -> None:
+        if self.manager is not other.manager:
+            raise ValueError("BDD operands belong to different managers")
+
+    def __and__(self, other: "BDD") -> "BDD":
+        self._check(other)
+        return BDD(self.manager, self.manager._ite(self.index, other.index, FALSE_INDEX))
+
+    def __or__(self, other: "BDD") -> "BDD":
+        self._check(other)
+        return BDD(self.manager, self.manager._ite(self.index, TRUE_INDEX, other.index))
+
+    def __xor__(self, other: "BDD") -> "BDD":
+        self._check(other)
+        not_other = self.manager._ite(other.index, FALSE_INDEX, TRUE_INDEX)
+        return BDD(self.manager, self.manager._ite(self.index, not_other, other.index))
+
+    def __invert__(self) -> "BDD":
+        return BDD(self.manager, self.manager._ite(self.index, FALSE_INDEX, TRUE_INDEX))
+
+    def iff(self, other: "BDD") -> "BDD":
+        """Logical biconditional (XNOR)."""
+        return ~(self ^ other)
+
+    def implies(self, other: "BDD") -> "BDD":
+        """Logical implication."""
+        self._check(other)
+        return BDD(self.manager, self.manager._ite(self.index, other.index, TRUE_INDEX))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BDD)
+            and other.manager is self.manager
+            and other.index == self.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.index))
+
+    def __repr__(self) -> str:
+        if self.index == FALSE_INDEX:
+            return "<BDD FALSE>"
+        if self.index == TRUE_INDEX:
+            return "<BDD TRUE>"
+        return "<BDD node %d, %d nodes>" % (self.index, self.manager.size_of(self))
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_false(self) -> bool:
+        return self.index == FALSE_INDEX
+
+    @property
+    def is_true(self) -> bool:
+        return self.index == TRUE_INDEX
+
+    # -- conveniences delegating to the manager ------------------------------
+
+    def restrict(self, assignment: Dict[str, bool]) -> "BDD":
+        """Cofactor with respect to a partial variable assignment."""
+        return self.manager.restrict(self, assignment)
+
+    def exists(self, variables: Iterable[str]) -> "BDD":
+        """Existential quantification over *variables*."""
+        return self.manager.exists(self, variables)
+
+    def forall(self, variables: Iterable[str]) -> "BDD":
+        """Universal quantification over *variables*."""
+        return self.manager.forall(self, variables)
+
+    def rename(self, mapping: Dict[str, str]) -> "BDD":
+        """Variable-to-variable substitution (see
+        :meth:`BDDManager.rename` for the ordering requirement)."""
+        return self.manager.rename(self, mapping)
+
+    def support(self) -> Tuple[str, ...]:
+        """Variables this function actually depends on."""
+        return self.manager.support(self)
+
+    def satisfy_one(self) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment over the support, or ``None``."""
+        return self.manager.satisfy_one(self)
+
+    def count(self, variables: Sequence[str]) -> int:
+        """Number of satisfying assignments over *variables*."""
+        return self.manager.count(self, variables)
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        """Evaluate under a total assignment of the support."""
+        return self.manager.evaluate(self, assignment)
+
+
+class BDDManager:
+    """A unique-table BDD store with an ``ite``-based operator core."""
+
+    def __init__(self) -> None:
+        # Parallel node arrays; entries 0/1 are the terminals (their
+        # var level is +inf conceptually; we use a sentinel).
+        self._var: List[int] = [-1, -1]
+        self._low: List[int] = [-1, -1]
+        self._high: List[int] = [-1, -1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._var_names: List[str] = []
+        self._var_index: Dict[str, int] = {}
+
+    # -- variables -----------------------------------------------------------
+
+    def variable(self, name: str) -> BDD:
+        """The function of a single variable, registering it (at the
+        end of the current order) on first use."""
+        level = self._var_index.get(name)
+        if level is None:
+            level = len(self._var_names)
+            self._var_names.append(name)
+            self._var_index[name] = level
+        return BDD(self, self._node(level, FALSE_INDEX, TRUE_INDEX))
+
+    def declare(self, *names: str) -> List[BDD]:
+        """Register variables in the given order; returns their BDDs."""
+        return [self.variable(name) for name in names]
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        return tuple(self._var_names)
+
+    def level_of(self, name: str) -> int:
+        """Position of *name* in the variable order."""
+        return self._var_index[name]
+
+    # -- constants -------------------------------------------------------------
+
+    @property
+    def true(self) -> BDD:
+        return BDD(self, TRUE_INDEX)
+
+    @property
+    def false(self) -> BDD:
+        return BDD(self, FALSE_INDEX)
+
+    def constant(self, value: bool) -> BDD:
+        return self.true if value else self.false
+
+    # -- node store --------------------------------------------------------------
+
+    def _node(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        index = len(self._var)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = index
+        return index
+
+    def _level(self, index: int) -> int:
+        var = self._var[index]
+        return 1 << 30 if var < 0 else var
+
+    # -- the ite core ---------------------------------------------------------------
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        # Terminal cases.
+        if f == TRUE_INDEX:
+            return g
+        if f == FALSE_INDEX:
+            return h
+        if g == h:
+            return g
+        if g == TRUE_INDEX and h == FALSE_INDEX:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._level(f), self._level(g), self._level(h))
+
+        def cofactor(index: int, branch: bool) -> int:
+            if self._level(index) != top:
+                return index
+            return self._high[index] if branch else self._low[index]
+
+        high = self._ite(cofactor(f, True), cofactor(g, True), cofactor(h, True))
+        low = self._ite(cofactor(f, False), cofactor(g, False), cofactor(h, False))
+        result = self._node(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    # -- restriction & quantification ----------------------------------------------
+
+    def restrict(self, f: BDD, assignment: Dict[str, bool]) -> BDD:
+        by_level = {self._var_index[name]: value for name, value in assignment.items()}
+        cache: Dict[int, int] = {}
+
+        def walk(index: int) -> int:
+            if index <= TRUE_INDEX:
+                return index
+            hit = cache.get(index)
+            if hit is not None:
+                return hit
+            var = self._var[index]
+            if var in by_level:
+                result = walk(self._high[index] if by_level[var] else self._low[index])
+            else:
+                result = self._node(var, walk(self._low[index]), walk(self._high[index]))
+            cache[index] = result
+            return result
+
+        return BDD(self, walk(f.index))
+
+    def exists(self, f: BDD, variables: Iterable[str]) -> BDD:
+        result = f
+        for name in variables:
+            low = self.restrict(result, {name: False})
+            high = self.restrict(result, {name: True})
+            result = low | high
+        return result
+
+    def forall(self, f: BDD, variables: Iterable[str]) -> BDD:
+        result = f
+        for name in variables:
+            low = self.restrict(result, {name: False})
+            high = self.restrict(result, {name: True})
+            result = low & high
+        return result
+
+    def rename(self, f: BDD, mapping: Dict[str, str]) -> BDD:
+        """Substitute variables by variables.
+
+        Requires the mapping to be *order-compatible*: the relative
+        order of any two support variables must be unchanged by the
+        substitution (true for the ``state <-> next_state`` pairings
+        used in image computation when declared interleaved).  Raises
+        :class:`ValueError` otherwise, rather than silently building a
+        malformed diagram.
+        """
+        if not mapping:
+            return f
+        # Validate order-compatibility on the support.
+        support = [name for name in self.support(f)]
+        renamed_levels = [
+            self._var_index[mapping.get(name, name)] for name in support
+        ]
+        original_levels = [self._var_index[name] for name in support]
+        if sorted(range(len(support)), key=lambda i: renamed_levels[i]) != sorted(
+            range(len(support)), key=lambda i: original_levels[i]
+        ):
+            raise ValueError(
+                "rename mapping is not order-compatible with the variable order"
+            )
+        level_map = {
+            self._var_index[src]: self._var_index[dst] for src, dst in mapping.items()
+        }
+        cache: Dict[int, int] = {}
+
+        def walk(index: int) -> int:
+            if index <= TRUE_INDEX:
+                return index
+            hit = cache.get(index)
+            if hit is not None:
+                return hit
+            var = self._var[index]
+            result = self._node(
+                level_map.get(var, var), walk(self._low[index]), walk(self._high[index])
+            )
+            cache[index] = result
+            return result
+
+        return BDD(self, walk(f.index))
+
+    # -- inspection ---------------------------------------------------------------
+
+    def support(self, f: BDD) -> Tuple[str, ...]:
+        seen = set()
+        levels = set()
+        stack = [f.index]
+        while stack:
+            index = stack.pop()
+            if index <= TRUE_INDEX or index in seen:
+                continue
+            seen.add(index)
+            levels.add(self._var[index])
+            stack.append(self._low[index])
+            stack.append(self._high[index])
+        return tuple(self._var_names[level] for level in sorted(levels))
+
+    def size_of(self, f: BDD) -> int:
+        """Node count of the (shared) diagram rooted at *f*."""
+        seen = set()
+        stack = [f.index]
+        while stack:
+            index = stack.pop()
+            if index <= TRUE_INDEX or index in seen:
+                continue
+            seen.add(index)
+            stack.append(self._low[index])
+            stack.append(self._high[index])
+        return len(seen) + 2  # + terminals
+
+    def satisfy_one(self, f: BDD) -> Optional[Dict[str, bool]]:
+        if f.index == FALSE_INDEX:
+            return None
+        assignment: Dict[str, bool] = {}
+        index = f.index
+        while index > TRUE_INDEX:
+            var = self._var_names[self._var[index]]
+            if self._low[index] != FALSE_INDEX:
+                assignment[var] = False
+                index = self._low[index]
+            else:
+                assignment[var] = True
+                index = self._high[index]
+        return assignment
+
+    def count(self, f: BDD, variables: Sequence[str]) -> int:
+        """Model count over the given variable list (must cover the
+        support of *f*)."""
+        support = set(self.support(f))
+        names = list(variables)
+        missing = support - set(names)
+        if missing:
+            raise ValueError("count variables missing support vars: %s" % sorted(missing))
+        levels = sorted(self._var_index[name] for name in names)
+        position = {level: i for i, level in enumerate(levels)}
+        cache: Dict[int, int] = {}
+
+        def walk(index: int) -> Tuple[int, int]:
+            """Returns (count, level-position of this node)."""
+            if index == FALSE_INDEX:
+                return 0, len(levels)
+            if index == TRUE_INDEX:
+                return 1, len(levels)
+            if index in cache:
+                return cache[index], position[self._var[index]]
+            low_count, low_pos = walk(self._low[index])
+            high_count, high_pos = walk(self._high[index])
+            my_pos = position[self._var[index]]
+            total = low_count * (1 << (low_pos - my_pos - 1)) + high_count * (
+                1 << (high_pos - my_pos - 1)
+            )
+            cache[index] = total
+            return total, my_pos
+
+        count, pos = walk(f.index)
+        return count * (1 << pos)
+
+    def evaluate(self, f: BDD, assignment: Dict[str, bool]) -> bool:
+        index = f.index
+        while index > TRUE_INDEX:
+            name = self._var_names[self._var[index]]
+            try:
+                branch = assignment[name]
+            except KeyError:
+                raise ValueError("assignment missing variable %r" % name)
+            index = self._high[index] if branch else self._low[index]
+        return index == TRUE_INDEX
+
+    # -- bulk helpers ------------------------------------------------------------
+
+    def cube(self, assignment: Dict[str, bool]) -> BDD:
+        """The conjunction of literals described by *assignment*."""
+        result = self.true
+        for name, value in assignment.items():
+            var = self.variable(name)
+            result = result & (var if value else ~var)
+        return result
+
+    def disjunction(self, functions: Iterable[BDD]) -> BDD:
+        result = self.false
+        for f in functions:
+            result = result | f
+        return result
+
+    def conjunction(self, functions: Iterable[BDD]) -> BDD:
+        result = self.true
+        for f in functions:
+            result = result & f
+        return result
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes allocated in this manager (monotone; no GC)."""
+        return len(self._var)

@@ -1,0 +1,159 @@
+"""Justifiability analysis of multi-output combinational cells.
+
+Section 3.2 of the paper classifies multi-output cells by whether every
+output vector is *justifiable* (producible by some input vector):
+
+    "F is justifiable if and only if for every output y in 2^m there
+     exists an input x in 2^n such that y = F(x); if there exists
+     y in 2^m such that for all x in 2^n, y != F(x), then F is
+     non-justifiable."
+
+The k-way fanout junction ``JUNC`` is the canonical non-justifiable cell
+(only the all-0 and all-1 output vectors are producible), and forward
+retiming moves across non-justifiable cells are exactly the moves that
+break safe replacement (Section 4).
+
+This module provides the full analysis: the image of a cell, its
+justifiability verdict, witness vectors, and for justifiable cells a
+*justification function* mapping each output vector to one producing
+input vector (used by the backward-simulation arguments in
+Propositions 4.1/4.2 and by their executable counterparts in
+:mod:`repro.retime.validity`).
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .functions import CellFunction
+
+__all__ = [
+    "JustifiabilityReport",
+    "analyze",
+    "is_justifiable",
+    "justify",
+    "unjustifiable_vectors",
+]
+
+BoolVec = Tuple[bool, ...]
+
+
+@dataclass(frozen=True)
+class JustifiabilityReport:
+    """The result of analysing one cell function.
+
+    Attributes
+    ----------
+    cell_name:
+        Name of the analysed cell.
+    n_inputs, n_outputs:
+        Pin counts of the cell.
+    justifiable:
+        The paper's verdict: every output vector has a preimage.
+    image:
+        The set of producible output vectors.
+    witnesses:
+        For each producible output vector, one input vector producing
+        it (the first in lexicographic input order).
+    missing:
+        The non-producible output vectors, sorted; empty iff
+        ``justifiable``.
+    """
+
+    cell_name: str
+    n_inputs: int
+    n_outputs: int
+    justifiable: bool
+    image: frozenset
+    witnesses: "Dict[BoolVec, BoolVec]"
+    missing: Tuple[BoolVec, ...]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the output space that is producible."""
+        return len(self.image) / float(2 ** self.n_outputs)
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary."""
+        verdict = "justifiable" if self.justifiable else "NON-justifiable"
+        lines = [
+            "%s: %d inputs, %d outputs -> %s (image %d/%d output vectors)"
+            % (
+                self.cell_name,
+                self.n_inputs,
+                self.n_outputs,
+                verdict,
+                len(self.image),
+                2 ** self.n_outputs,
+            )
+        ]
+        if self.missing:
+            shown = ", ".join(
+                "".join("1" if b else "0" for b in vec) for vec in self.missing[:8]
+            )
+            suffix = ", ..." if len(self.missing) > 8 else ""
+            lines.append("  unjustifiable output vectors: %s%s" % (shown, suffix))
+        return "\n".join(lines)
+
+
+@functools.lru_cache(maxsize=None)
+def analyze(cell: CellFunction) -> JustifiabilityReport:
+    """Exhaustively analyse *cell* for justifiability.
+
+    Enumerates all ``2**n_inputs`` input vectors; intended for library
+    cells (small arity), not whole circuits.  Results are cached per
+    cell function (cell functions are frozen and interned by the
+    registry, so the cache stays small).
+    """
+    witnesses: Dict[BoolVec, BoolVec] = {}
+    for bits in itertools.product((False, True), repeat=cell.n_inputs):
+        out = cell.eval_binary(bits)
+        witnesses.setdefault(out, bits)
+    image = frozenset(witnesses)
+    missing: List[BoolVec] = [
+        vec
+        for vec in itertools.product((False, True), repeat=cell.n_outputs)
+        if vec not in image
+    ]
+    missing.sort()
+    return JustifiabilityReport(
+        cell_name=cell.name,
+        n_inputs=cell.n_inputs,
+        n_outputs=cell.n_outputs,
+        justifiable=not missing,
+        image=image,
+        witnesses=witnesses,
+        missing=tuple(missing),
+    )
+
+
+def is_justifiable(cell: CellFunction) -> bool:
+    """Shortcut for ``analyze(cell).justifiable``.
+
+    Single-output cells are justifiable iff they are not constant
+    functions of their inputs... in fact a single-output cell is
+    justifiable iff both 0 and 1 appear in its image; a constant cell
+    (or a gate computing a constant) is non-justifiable, matching the
+    paper's remark that forward moves across constant-producing elements
+    are also unsafe.
+    """
+    return analyze(cell).justifiable
+
+
+def justify(cell: CellFunction, output_vector: BoolVec) -> Optional[BoolVec]:
+    """Return an input vector producing *output_vector*, or ``None``.
+
+    This is the computational content of the existence claim in
+    Proposition 4.1's case (ii): for a justifiable element and any
+    latched output vector Y' there is an input vector Z with F(Z) = Y'.
+    """
+    report = analyze(cell)
+    return report.witnesses.get(tuple(bool(v) for v in output_vector))
+
+
+def unjustifiable_vectors(cell: CellFunction) -> Tuple[BoolVec, ...]:
+    """The output vectors of *cell* with no preimage (empty if justifiable)."""
+    return analyze(cell).missing

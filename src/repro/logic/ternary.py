@@ -1,0 +1,359 @@
+"""Three-valued (ternary) logic values and Kleene operators.
+
+The paper's conservative three-valued logic simulator (CLS, Section 5)
+operates over the value set ``{0, 1, X}`` where ``X`` denotes an unknown
+(undetermined) logic value.  This module provides:
+
+* :class:`T` -- the ternary value type (an ``IntEnum`` with members
+  :data:`ZERO`, :data:`ONE` and :data:`X`),
+* the Kleene (strong three-valued) connectives ``t_not``, ``t_and``,
+  ``t_or``, ``t_xor`` and friends, which implement exactly the "local
+  propagation" semantics the paper assumes for individual gates
+  (``0 · X = 0`` but ``1 · X = X``),
+* conversion helpers between Python booleans / ints / characters and
+  ternary values, and sequence helpers used throughout the simulators.
+
+Information ordering
+--------------------
+
+The ternary domain is a flat CPO with ``X`` at the bottom::
+
+        0       1
+         \\     /
+           X
+
+``refines(a, b)`` is true when ``a`` is at least as defined as ``b``
+(i.e. ``b == X`` or ``a == b``).  All Kleene connectives are monotone
+with respect to this order; the property tests in
+``tests/logic/test_ternary.py`` verify monotonicity exhaustively.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Sequence, Tuple, Union
+
+__all__ = [
+    "T",
+    "ZERO",
+    "ONE",
+    "X",
+    "TernaryLike",
+    "to_ternary",
+    "from_bool",
+    "to_bool",
+    "is_definite",
+    "refines",
+    "meet",
+    "t_not",
+    "t_and",
+    "t_or",
+    "t_nand",
+    "t_nor",
+    "t_xor",
+    "t_xnor",
+    "t_buf",
+    "t_mux",
+    "t_and_all",
+    "t_or_all",
+    "t_xor_all",
+    "parse_ternary_string",
+    "format_ternary",
+    "format_ternary_sequence",
+    "all_ternary_vectors",
+    "definite_completions",
+    "vector_refines",
+]
+
+
+class T(enum.IntEnum):
+    """A three-valued logic constant: ``ZERO``, ``ONE`` or ``X``.
+
+    The integer encoding (0, 1, 2) is an implementation detail but is
+    stable and used by the table-driven gate evaluators for speed.
+    """
+
+    ZERO = 0
+    ONE = 1
+    X = 2
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return format_ternary(self)
+
+    def __repr__(self) -> str:
+        return "T.%s" % self.name
+
+
+ZERO = T.ZERO
+ONE = T.ONE
+X = T.X
+
+#: Anything accepted where a ternary value is expected.
+TernaryLike = Union[T, bool, int, str, None]
+
+_CHAR_TO_T = {
+    "0": ZERO,
+    "1": ONE,
+    "x": X,
+    "X": X,
+    "?": X,
+    "u": X,
+    "U": X,
+}
+
+
+def to_ternary(value: TernaryLike) -> T:
+    """Coerce *value* to a :class:`T`.
+
+    Accepts :class:`T` itself, booleans, the integers 0/1/2, the
+    characters ``0 1 x X ? u U`` and ``None`` (mapped to ``X``).
+
+    >>> to_ternary(True), to_ternary(0), to_ternary('x'), to_ternary(None)
+    (T.ONE, T.ZERO, T.X, T.X)
+    """
+    if isinstance(value, T):
+        return value
+    if value is None:
+        return X
+    if isinstance(value, bool):
+        return ONE if value else ZERO
+    if isinstance(value, int):
+        if value in (0, 1, 2):
+            return T(value)
+        raise ValueError("integer %r is not a valid ternary encoding" % (value,))
+    if isinstance(value, str):
+        try:
+            return _CHAR_TO_T[value]
+        except KeyError:
+            raise ValueError("character %r is not a valid ternary literal" % (value,))
+    raise TypeError("cannot interpret %r as a ternary value" % (value,))
+
+
+def from_bool(value: bool) -> T:
+    """Map a Python boolean to a definite ternary value."""
+    return ONE if value else ZERO
+
+
+def to_bool(value: T) -> bool:
+    """Map a definite ternary value back to a boolean.
+
+    Raises :class:`ValueError` on ``X`` -- callers that may legitimately
+    see an ``X`` should test :func:`is_definite` first.
+    """
+    if value is ZERO:
+        return False
+    if value is ONE:
+        return True
+    raise ValueError("cannot convert X to a boolean")
+
+
+def is_definite(value: T) -> bool:
+    """True iff *value* is 0 or 1 (not X)."""
+    return value is not X
+
+
+def refines(a: T, b: T) -> bool:
+    """Information-order comparison: does *a* refine (is at least as
+    defined as) *b*?
+
+    ``refines(a, b)`` holds when ``b is X`` or ``a == b``.  The
+    conservativeness statement for the CLS is phrased with this
+    predicate: every exact simulation value refines the corresponding
+    CLS value.
+    """
+    return b is X or a is b
+
+
+def meet(a: T, b: T) -> T:
+    """Greatest lower bound in the information order.
+
+    Two agreeing definite values meet at themselves; any disagreement or
+    unknown collapses to ``X``.  This is exactly the merge rule of the
+    paper's hypothetical "powerful simulator" (Section 2.1): an output is
+    reported definite only when every power-up state agrees.
+    """
+    return a if a is b else X
+
+
+# ---------------------------------------------------------------------------
+# Kleene connectives (table driven).
+# ---------------------------------------------------------------------------
+
+# Row-major tables indexed by the IntEnum encoding (0, 1, 2=X).
+_AND_TABLE = (
+    (ZERO, ZERO, ZERO),
+    (ZERO, ONE, X),
+    (ZERO, X, X),
+)
+
+_OR_TABLE = (
+    (ZERO, ONE, X),
+    (ONE, ONE, ONE),
+    (X, ONE, X),
+)
+
+_XOR_TABLE = (
+    (ZERO, ONE, X),
+    (ONE, ZERO, X),
+    (X, X, X),
+)
+
+_NOT_TABLE = (ONE, ZERO, X)
+
+
+def t_not(a: T) -> T:
+    """Kleene negation: ``not X == X``."""
+    return _NOT_TABLE[a]
+
+
+def t_and(a: T, b: T) -> T:
+    """Kleene conjunction: ``0 and X == 0``, ``1 and X == X``."""
+    return _AND_TABLE[a][b]
+
+
+def t_or(a: T, b: T) -> T:
+    """Kleene disjunction: ``1 or X == 1``, ``0 or X == X``."""
+    return _OR_TABLE[a][b]
+
+
+def t_nand(a: T, b: T) -> T:
+    """Kleene NAND."""
+    return _NOT_TABLE[_AND_TABLE[a][b]]
+
+
+def t_nor(a: T, b: T) -> T:
+    """Kleene NOR."""
+    return _NOT_TABLE[_OR_TABLE[a][b]]
+
+
+def t_xor(a: T, b: T) -> T:
+    """Kleene exclusive-or: any X input yields X."""
+    return _XOR_TABLE[a][b]
+
+
+def t_xnor(a: T, b: T) -> T:
+    """Kleene exclusive-nor."""
+    return _NOT_TABLE[_XOR_TABLE[a][b]]
+
+
+def t_buf(a: T) -> T:
+    """Identity (buffer)."""
+    return a
+
+
+def t_mux(select: T, when_zero: T, when_one: T) -> T:
+    """Conservative 2:1 multiplexer.
+
+    With a definite select the selected data input passes through.  With
+    select ``X`` the output is the :func:`meet` of the two data inputs:
+    definite only when both branches agree -- which is precisely the
+    local (per-gate exact, globally conservative) semantics of a MUX
+    standard cell in a three-valued simulator.
+    """
+    if select is ZERO:
+        return when_zero
+    if select is ONE:
+        return when_one
+    return meet(when_zero, when_one)
+
+
+def t_and_all(values: Iterable[T]) -> T:
+    """N-ary Kleene AND (identity ``ONE`` for an empty sequence)."""
+    acc = ONE
+    for v in values:
+        acc = _AND_TABLE[acc][v]
+        # No early exit on ZERO: keeping the loop total keeps the
+        # function trivially monotone and the cost is negligible.
+    return acc
+
+
+def t_or_all(values: Iterable[T]) -> T:
+    """N-ary Kleene OR (identity ``ZERO`` for an empty sequence)."""
+    acc = ZERO
+    for v in values:
+        acc = _OR_TABLE[acc][v]
+    return acc
+
+
+def t_xor_all(values: Iterable[T]) -> T:
+    """N-ary Kleene XOR (identity ``ZERO`` for an empty sequence)."""
+    acc = ZERO
+    for v in values:
+        acc = _XOR_TABLE[acc][v]
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# Sequences and vectors.
+# ---------------------------------------------------------------------------
+
+
+def parse_ternary_string(text: str) -> Tuple[T, ...]:
+    """Parse a compact ternary vector/sequence literal.
+
+    Separators (spaces, dots, middle dots as used in the paper's
+    ``0·1·1·1`` notation, commas) are ignored:
+
+    >>> parse_ternary_string('0·1·1·1')
+    (T.ZERO, T.ONE, T.ONE, T.ONE)
+    >>> parse_ternary_string('0X1')
+    (T.ZERO, T.X, T.ONE)
+    """
+    out: List[T] = []
+    for ch in text:
+        if ch in " .,·\t":
+            continue
+        out.append(to_ternary(ch))
+    return tuple(out)
+
+
+def format_ternary(value: T) -> str:
+    """Render a single ternary value as ``0``, ``1`` or ``X``."""
+    if value is ZERO:
+        return "0"
+    if value is ONE:
+        return "1"
+    return "X"
+
+
+def format_ternary_sequence(values: Iterable[T], sep: str = "·") -> str:
+    """Render a ternary sequence in the paper's dotted style.
+
+    >>> format_ternary_sequence((ZERO, X, ONE))
+    '0·X·1'
+    """
+    return sep.join(format_ternary(v) for v in values)
+
+
+def all_ternary_vectors(width: int) -> Iterable[Tuple[T, ...]]:
+    """Yield all ``3**width`` ternary vectors of the given width."""
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if width == 0:
+        yield ()
+        return
+    for rest in all_ternary_vectors(width - 1):
+        for v in (ZERO, ONE, X):
+            yield rest + (v,)
+
+
+def definite_completions(vector: Sequence[T]) -> Iterable[Tuple[T, ...]]:
+    """Yield every fully definite vector refining *vector*.
+
+    Each ``X`` position is expanded to both 0 and 1; definite positions
+    are kept.  Used by the exact simulator and the justifiability
+    analysis to enumerate the concretisations of a partially unknown
+    vector.
+    """
+    pending: List[Tuple[T, ...]] = [()]
+    for v in vector:
+        choices = (ZERO, ONE) if v is X else (v,)
+        pending = [prefix + (c,) for prefix in pending for c in choices]
+    return iter(pending)
+
+
+def vector_refines(a: Sequence[T], b: Sequence[T]) -> bool:
+    """Pointwise :func:`refines` over equal-length vectors."""
+    if len(a) != len(b):
+        raise ValueError("vectors have different lengths (%d vs %d)" % (len(a), len(b)))
+    return all(refines(x, y) for x, y in zip(a, b))

@@ -1,0 +1,15 @@
+"""Net-list level circuit model, construction, transforms and I/O."""
+
+from .circuit import Cell, Circuit, CircuitError, Latch  # noqa: F401
+from .builder import CircuitBuilder  # noqa: F401
+from .validate import ValidationError, check_normal_form, validate  # noqa: F401
+from .transform import (  # noqa: F401
+    collapse_junctions,
+    enable_latch,
+    normalize_fanout,
+    synchronous_reset_latch,
+    synchronous_set_latch,
+)
+from .io_bench import BenchParseError, parse_bench, write_bench  # noqa: F401
+from .io_blif import BlifModel, BlifParseError, parse_blif, write_blif  # noqa: F401
+from .synthesis import synthesize_stg  # noqa: F401

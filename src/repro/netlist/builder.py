@@ -1,0 +1,142 @@
+"""Ergonomic circuit construction.
+
+:class:`CircuitBuilder` wraps :class:`~repro.netlist.circuit.Circuit`
+with a fluent gate-per-call API so that examples, tests and benchmark
+workloads read like net-lists::
+
+    b = CircuitBuilder("figure1_D")
+    i = b.input("I")
+    q = b.net("Q")
+    n = b.gate("NOT", i, name="inv")
+    a = b.gate("AND", n, q, name="and1")
+    b.latch(a, q, name="L")
+    o = b.gate("NOT", q, name="outinv")
+    b.output(o)
+    circuit = b.build()
+
+Gate calls return the (single) output net name so calls compose.  Net
+and element names are auto-generated when not given; auto-generated
+names are deterministic so builds are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..logic.functions import CellFunction, get_function, junction, make_gate
+from .circuit import Circuit
+from .validate import validate
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Incrementally build a :class:`Circuit`."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self._circuit = Circuit(name)
+        self._counter = 0
+
+    # -- naming --------------------------------------------------------
+
+    def _auto(self, stem: str) -> str:
+        self._counter += 1
+        return "%s_%d" % (stem, self._counter)
+
+    def net(self, name: Optional[str] = None) -> str:
+        """Reserve (just name) a net to be driven later, e.g. a latch
+        output that a gate upstream of the latch also reads."""
+        return name if name is not None else self._auto("n")
+
+    # -- structural elements --------------------------------------------
+
+    def input(self, name: Optional[str] = None) -> str:
+        """Declare a primary input; returns its net."""
+        net = name if name is not None else self._auto("in")
+        self._circuit.add_input(net)
+        return net
+
+    def output(self, net: str) -> str:
+        """Declare *net* as a primary output."""
+        self._circuit.add_output(net)
+        return net
+
+    def gate(
+        self,
+        kind: str,
+        *input_nets: str,
+        name: Optional[str] = None,
+        out: Optional[str] = None,
+    ) -> str:
+        """Instantiate a single-output gate of *kind* over *input_nets*.
+
+        Returns the output net.  ``kind`` accepts the same names as
+        :func:`repro.logic.functions.get_function`; arity is taken from
+        the number of input nets for the variadic gate families.
+        """
+        kind_upper = kind.upper()
+        if kind_upper in ("AND", "OR", "NAND", "NOR", "XOR", "XNOR"):
+            fn = make_gate(kind_upper, len(input_nets))
+        else:
+            fn = get_function(kind_upper)
+        cell_name = name if name is not None else self._auto(kind_upper.lower())
+        out_net = out if out is not None else self._auto("n")
+        self._circuit.add_cell(cell_name, fn, list(input_nets), [out_net])
+        return out_net
+
+    def cell(
+        self,
+        function: CellFunction,
+        input_nets: Sequence[str],
+        *,
+        name: Optional[str] = None,
+        outs: Optional[Sequence[str]] = None,
+    ) -> Tuple[str, ...]:
+        """Instantiate an arbitrary (possibly multi-output) cell.
+
+        Returns the tuple of output nets.
+        """
+        cell_name = name if name is not None else self._auto(function.name.lower())
+        out_nets: List[str] = (
+            list(outs) if outs is not None else [self._auto("n") for _ in range(function.n_outputs)]
+        )
+        self._circuit.add_cell(cell_name, function, list(input_nets), out_nets)
+        return tuple(out_nets)
+
+    def fanout(self, net: str, k: int, *, name: Optional[str] = None) -> Tuple[str, ...]:
+        """Explicit k-way JUNC fanout of *net*; returns the branch nets."""
+        return self.cell(junction(k), [net], name=name)
+
+    def latch(
+        self,
+        data_in: str,
+        data_out: Optional[str] = None,
+        *,
+        name: Optional[str] = None,
+    ) -> str:
+        """Add a latch; returns its output net.
+
+        ``data_out`` may name a previously reserved net (see
+        :meth:`net`) to close a feedback loop.
+        """
+        out_net = data_out if data_out is not None else self._auto("q")
+        latch_name = name if name is not None else self._auto("L")
+        self._circuit.add_latch(latch_name, data_in, out_net)
+        return out_net
+
+    def const(self, value: int, *, name: Optional[str] = None) -> str:
+        """A constant-0 or constant-1 net."""
+        return self.gate("CONST1" if value else "CONST0", name=name)
+
+    # -- finish ----------------------------------------------------------
+
+    def build(self, check: bool = True) -> Circuit:
+        """Return the built circuit, validating it by default."""
+        if check:
+            validate(self._circuit)
+        return self._circuit
+
+    @property
+    def circuit(self) -> Circuit:
+        """The circuit under construction (unvalidated)."""
+        return self._circuit

@@ -1,0 +1,178 @@
+"""ISCAS-89 ``.bench`` format reader and writer.
+
+The ``.bench`` format is the lingua franca for the sequential benchmark
+circuits (s27, s208, ...) the logic-synthesis literature of the paper's
+era evaluated on.  A file is a list of declarations::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G14 = NOT(G0)
+    G8 = AND(G14, G6)
+
+Supported gate keywords: ``AND OR NAND NOR XOR XNOR NOT BUF BUFF DFF``
+(plus ``CONST0``/``CONST1`` as an extension for round-tripping our own
+circuits).  ``DFF`` becomes a :class:`~repro.netlist.circuit.Latch`
+-- with no initial value, matching both the format (which specifies
+none) and the paper's model.
+
+The format represents fanout implicitly (a signal name may be referenced
+many times), so :func:`parse_bench` returns a multi-reader circuit;
+callers that need the paper's normal form apply
+:func:`repro.netlist.transform.normalize_fanout`.  Conversely,
+:func:`write_bench` collapses junctions before printing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.functions import make_gate
+from .circuit import Circuit, CircuitError
+from .transform import collapse_junctions
+
+__all__ = ["parse_bench", "write_bench", "BenchParseError"]
+
+
+class BenchParseError(CircuitError):
+    """Raised on malformed ``.bench`` input, with a line number."""
+
+    def __init__(self, line_no: int, line: str, why: str) -> None:
+        self.line_no = line_no
+        self.line = line
+        super().__init__(".bench line %d: %s (%r)" % (line_no, why, line.strip()))
+
+
+_DECL_RE = re.compile(
+    r"^\s*(INPUT|OUTPUT)\s*\(\s*([^()\s]+)\s*\)\s*$", re.IGNORECASE
+)
+_ASSIGN_RE = re.compile(
+    r"^\s*([^=\s]+)\s*=\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(\s*([^()]*)\)\s*$"
+)
+
+_GATE_KEYWORDS = {
+    "AND": "AND",
+    "OR": "OR",
+    "NAND": "NAND",
+    "NOR": "NOR",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+    "NOT": "NOT",
+    "INV": "NOT",
+    "BUF": "BUF",
+    "BUFF": "BUF",
+    "CONST0": "CONST0",
+    "CONST1": "CONST1",
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` *text* into a (multi-reader) :class:`Circuit`.
+
+    Declarations may appear in any order; forward references are
+    resolved after the full file is read.  Dangling signals raise
+    :class:`BenchParseError`.
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Tuple[int, str, str, Tuple[str, ...]]] = []  # line, out, kind, ins
+    latches: List[Tuple[int, str, str]] = []  # line, out, in
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            keyword, signal = decl.group(1).upper(), decl.group(2)
+            if keyword == "INPUT":
+                inputs.append(signal)
+            else:
+                outputs.append(signal)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if assign:
+            out, keyword, arg_text = assign.groups()
+            keyword = keyword.upper()
+            args = tuple(a.strip() for a in arg_text.split(",") if a.strip())
+            if keyword == "DFF":
+                if len(args) != 1:
+                    raise BenchParseError(line_no, raw, "DFF takes exactly one argument")
+                latches.append((line_no, out, args[0]))
+            elif keyword in _GATE_KEYWORDS:
+                kind = _GATE_KEYWORDS[keyword]
+                if kind == "NOT" or kind == "BUF":
+                    if len(args) != 1:
+                        raise BenchParseError(line_no, raw, "%s takes one argument" % keyword)
+                elif kind.startswith("CONST"):
+                    if args:
+                        raise BenchParseError(line_no, raw, "%s takes no arguments" % keyword)
+                elif len(args) < 1:
+                    raise BenchParseError(line_no, raw, "%s needs arguments" % keyword)
+                gates.append((line_no, out, kind, args))
+            else:
+                raise BenchParseError(line_no, raw, "unknown gate keyword %r" % keyword)
+            continue
+        raise BenchParseError(line_no, raw, "unrecognised declaration")
+
+    circuit = Circuit(name)
+    for signal in inputs:
+        circuit.add_input(signal)
+    for line_no, out, data_in in latches:
+        circuit.add_latch("dff_%s" % out, data_in, out)
+    for line_no, out, kind, args in gates:
+        fn = make_gate(kind, len(args)) if kind not in ("CONST0", "CONST1") else make_gate(kind, 0)
+        circuit.add_cell("g_%s" % out, fn, args, (out,))
+    for signal in outputs:
+        circuit.add_output(signal)
+
+    # Resolve dangling references eagerly for a clear error message.
+    for cell in circuit.cells:
+        for net in cell.inputs:
+            if not circuit.has_net(net):
+                raise BenchParseError(0, net, "signal %r is referenced but never defined" % net)
+    for latch in circuit.latches:
+        if not circuit.has_net(latch.data_in):
+            raise BenchParseError(
+                0, latch.data_in, "signal %r is referenced but never defined" % latch.data_in
+            )
+    for net in circuit.outputs:
+        if not circuit.has_net(net):
+            raise BenchParseError(0, net, "output %r is never defined" % net)
+    return circuit
+
+
+def write_bench(circuit: Circuit, header: Optional[str] = None) -> str:
+    """Render *circuit* as ``.bench`` text.
+
+    Junctions are collapsed first (the format has implicit fanout).
+    Multi-output cells other than junctions cannot be represented and
+    raise :class:`CircuitError`.
+    """
+    flat = collapse_junctions(circuit)
+    lines: List[str] = []
+    lines.append("# %s" % (header or flat.name))
+    for net in flat.inputs:
+        lines.append("INPUT(%s)" % net)
+    for net in flat.outputs:
+        lines.append("OUTPUT(%s)" % net)
+    lines.append("")
+    for latch in flat.latches:
+        lines.append("%s = DFF(%s)" % (latch.data_out, latch.data_in))
+    name_map: Dict[str, str] = {}
+    for cell in flat.cells:
+        if cell.function.n_outputs != 1:
+            raise CircuitError(
+                "cell %s (%s) has %d outputs; .bench supports single-output gates only"
+                % (cell.name, cell.function.name, cell.function.n_outputs)
+            )
+        kind = cell.function.name.rstrip("0123456789")
+        if kind not in _GATE_KEYWORDS and kind not in ("CONST",):
+            raise CircuitError("cell function %s not representable in .bench" % cell.function.name)
+        keyword = cell.function.name if kind == "CONST" else kind
+        lines.append("%s = %s(%s)" % (cell.outputs[0], keyword, ", ".join(cell.inputs)))
+        name_map[cell.name] = cell.outputs[0]
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,9 @@
+"""Optimisations that preserve only the three-valued invariant
+(the paper's Section 6 program)."""
+
+from .redundancy import (  # noqa: F401
+    RedundancyReport,
+    is_cls_redundant,
+    remove_cls_redundancies,
+    substitute_constant,
+)

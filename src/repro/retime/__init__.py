@@ -1,0 +1,41 @@
+"""Retiming: atomic moves, LS graph model, optimisers, validity checks."""
+
+from .moves import (  # noqa: F401
+    Direction,
+    MoveError,
+    MoveKind,
+    RetimingMove,
+    apply_move,
+    backward_move,
+    can_move_backward,
+    can_move_forward,
+    classify_move,
+    enabled_moves,
+    forward_move,
+)
+from .engine import AppliedMove, RetimingSession, replay_moves  # noqa: F401
+from .graph import (  # noqa: F401
+    HOST,
+    RetimingEdge,
+    RetimingGraph,
+    build_retiming_graph,
+    default_delay,
+)
+from .leiserson_saxe import (  # noqa: F401
+    MinPeriodResult,
+    WDMatrices,
+    compute_wd,
+    feas,
+    min_period_retiming,
+)
+from .min_area import MinAreaResult, min_area_retiming  # noqa: F401
+from .apply import lag_to_moves, realize  # noqa: F401
+from .initial_state import InitialStateError, propagate_initial_state  # noqa: F401
+from .delay_models import DELAY_MODELS, delay_model  # noqa: F401
+from .validity import (  # noqa: F401
+    ValidityReport,
+    check_retiming_validity,
+    cls_equivalent,
+    first_cls_difference,
+    random_ternary_sequences,
+)

@@ -1,0 +1,191 @@
+"""Realising a lag assignment on the net-list.
+
+A lag assignment from the graph-level optimisers has to be turned back
+into a circuit.  Two realisations are provided:
+
+:func:`realize`
+    Direct reconstruction: rebuild the net-list with
+    ``w_r(e) = w(e) + lag(v) - lag(u)`` latches on every connection.
+    Fast, works on any circuit.
+
+:func:`lag_to_moves`
+    Decompose the lag assignment into a sequence of **atomic moves**
+    (Section 3.2) and apply them through the
+    :class:`~repro.retime.engine.RetimingSession`, which yields the
+    move-kind accounting the paper's Section 4 theorems are stated in
+    (how many hazardous forward moves, the Theorem 4.5 ``k``...).
+    Requires single-fanout normal form.
+
+The decomposition uses a greedy schedule that is provably deadlock-free:
+among the vertices with the most negative remaining lag there is always
+one whose inputs all carry a latch (any zero-weight-edge cycle inside
+that set would be a combinational cycle), and symmetrically for
+backward moves.  Every atomic move preserves the invariant
+``w_current(e) + rem(v) - rem(u) >= 0``, so progress never wedges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..netlist.circuit import Circuit
+from .engine import RetimingSession
+from .graph import HOST, HOST_OUT, HOST_VERTICES, build_retiming_graph
+from .moves import MoveError, can_move_backward, can_move_forward
+
+__all__ = ["realize", "lag_to_moves"]
+
+
+def realize(
+    circuit: Circuit, lag: Mapping[str, int], *, name: Optional[str] = None
+) -> Circuit:
+    """Rebuild *circuit* with latch placement given by *lag*.
+
+    The connection structure (which cell pin feeds which) is preserved;
+    only the number of latches on each connection changes.  Latch and
+    internal net names are regenerated systematically (``<src>~r<i>``),
+    so do not rely on latch names surviving a retiming -- the paper's
+    notions of behaviour never do.
+    """
+    graph = build_retiming_graph(circuit)
+    weights = graph.retimed_weights({**lag, HOST: 0, HOST_OUT: 0})
+
+    result = Circuit(name or ("%s_retimed" % circuit.name))
+    for net in circuit.inputs:
+        result.add_input(net)
+
+    counter = [0]
+
+    def build_chain(start_net: str, latches: int) -> str:
+        current = start_net
+        for _ in range(latches):
+            counter[0] += 1
+            fresh = result.fresh_net("%s~r%d" % (start_net, counter[0]))
+            result.add_latch(result.fresh_name("R%d" % counter[0]), current, fresh)
+            current = fresh
+        return current
+
+    # Map each graph edge back to (original source net, sink).  The
+    # retiming graph walk started from the sink pin's net and ended at
+    # the source vertex; we recover the source pin by walking again.
+    def walk_source(net: str) -> str:
+        """The net as driven by the source vertex (strip latch chain)."""
+        current = net
+        while True:
+            driver = circuit.driver_of(current)
+            if driver[0] == "latch":
+                current = circuit.latch(driver[1]).data_in
+                continue
+            return current
+
+    # Compute retimed weight per (sink) connection.
+    weight_by_sink: Dict[Tuple[str, int], int] = {}
+    source_by_sink: Dict[Tuple[str, int], str] = {}
+    for edge, w in weights.items():
+        if edge.v == HOST_OUT:
+            weight_by_sink[("@PO", edge.sink_pin)] = w
+        else:
+            weight_by_sink[(edge.v, edge.sink_pin)] = w
+    for cell in circuit.cells:
+        for pin, net in enumerate(cell.inputs):
+            source_by_sink[(cell.name, pin)] = walk_source(net)
+    for pin, net in enumerate(circuit.outputs):
+        source_by_sink[("@PO", pin)] = walk_source(net)
+
+    # Claim every cell's output nets first (drivers must exist before
+    # latches read them).  Inputs are patched afterwards via replace.
+    from ..netlist.circuit import Cell as _Cell
+
+    for cell in circuit.cells:
+        temp_inputs = tuple(
+            result.fresh_net("%s!tmp%d" % (cell.name, pin))
+            for pin in range(len(cell.inputs))
+        )
+        # Temporarily claim placeholder nets so add_cell validates; they
+        # are replaced below once chains exist.
+        result.add_cell(cell.name, cell.function, temp_inputs, cell.outputs)
+
+    # Build chains and patch cell inputs.
+    for cell in circuit.cells:
+        new_inputs: List[str] = []
+        for pin in range(len(cell.inputs)):
+            src = source_by_sink[(cell.name, pin)]
+            w = weight_by_sink[(cell.name, pin)]
+            new_inputs.append(build_chain(src, w))
+        result.replace_cell(
+            cell.name, _Cell(cell.name, cell.function, tuple(new_inputs), cell.outputs)
+        )
+    for pin in range(len(circuit.outputs)):
+        src = source_by_sink[("@PO", pin)]
+        w = weight_by_sink[("@PO", pin)]
+        result.add_output(build_chain(src, w))
+    return result
+
+
+def lag_to_moves(circuit: Circuit, lag: Mapping[str, int]) -> RetimingSession:
+    """Realise *lag* as a sequence of atomic moves (normal form only).
+
+    Returns the completed :class:`RetimingSession`, whose ``current``
+    circuit realises the lag and whose history carries the Section 4
+    move accounting.  Raises :class:`MoveError` if the lag assignment is
+    illegal for the circuit.
+    """
+    graph = build_retiming_graph(circuit)
+    full_lag = {**{v: 0 for v in graph.vertices}, **lag, HOST: 0, HOST_OUT: 0}
+    if not graph.is_legal_lag(full_lag):
+        raise MoveError("lag assignment is illegal for circuit %s" % circuit.name)
+
+    session = RetimingSession(circuit)
+    remaining: Dict[str, int] = {
+        v: full_lag[v]
+        for v in graph.vertices
+        if v not in HOST_VERTICES and full_lag[v] != 0
+    }
+
+    while remaining:
+        negatives = [v for v, r in remaining.items() if r < 0]
+        positives = [v for v, r in remaining.items() if r > 0]
+        progressed = False
+        if negatives:
+            lowest = min(remaining[v] for v in negatives)
+            for v in sorted(v for v in negatives if remaining[v] == lowest):
+                if can_move_forward(session.current, v):
+                    session.forward(v)
+                    remaining[v] += 1
+                    if remaining[v] == 0:
+                        del remaining[v]
+                    progressed = True
+                    break
+        if not progressed and positives:
+            highest = max(remaining[v] for v in positives)
+            for v in sorted(v for v in positives if remaining[v] == highest):
+                if can_move_backward(session.current, v):
+                    session.backward(v)
+                    remaining[v] -= 1
+                    if remaining[v] == 0:
+                        del remaining[v]
+                    progressed = True
+                    break
+        if not progressed:
+            # Fall back to any enabled pending move before giving up.
+            for v, r in sorted(remaining.items()):
+                if r < 0 and can_move_forward(session.current, v):
+                    session.forward(v)
+                    remaining[v] += 1
+                    if remaining[v] == 0:
+                        del remaining[v]
+                    progressed = True
+                    break
+                if r > 0 and can_move_backward(session.current, v):
+                    session.backward(v)
+                    remaining[v] -= 1
+                    if remaining[v] == 0:
+                        del remaining[v]
+                    progressed = True
+                    break
+        if not progressed:
+            raise MoveError(
+                "move decomposition wedged with remaining lags %r (is the "
+                "circuit in single-fanout normal form?)" % (remaining,)
+            )
+    return session

@@ -1,0 +1,87 @@
+"""Gate delay models for retiming.
+
+The Leiserson-Saxe formulation takes an arbitrary per-vertex delay
+``d(v)``; everything in :mod:`repro.retime` is parameterised on it.
+This module provides the standard instantiations:
+
+* ``unit`` -- every gate 1, wiring (junctions/buffers) free: the model
+  the benchmarks default to;
+* ``loaded`` -- a crude technology-ish table (XOR/XNOR and MUX cost
+  more than NAND/NOR, buffers cost a little): enough to show that the
+  *optimal retiming changes with the delay model*, which is the reason
+  the optimisers take ``delays`` at all;
+* custom tables by gate family, with a default for unknown families.
+
+Delays are attached per cell *family* (AND, XOR, JUNC, ...), not per
+instance; per-instance overrides can be layered on the returned dict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..netlist.circuit import Circuit
+from .graph import HOST, HOST_OUT
+
+__all__ = ["DELAY_MODELS", "delay_model", "family_of"]
+
+
+def family_of(cell_function_name: str) -> str:
+    """Strip the arity suffix: ``AND3`` -> ``AND``, ``JUNC2`` -> ``JUNC``."""
+    return cell_function_name.rstrip("0123456789")
+
+
+#: Named per-family delay tables.  Families missing from a table fall
+#: back to its ``*`` entry.
+DELAY_MODELS: Dict[str, Dict[str, int]] = {
+    "unit": {
+        "JUNC": 0,
+        "BUF": 0,
+        "CONST": 0,
+        "*": 1,
+    },
+    "loaded": {
+        "JUNC": 0,
+        "CONST": 0,
+        "BUF": 1,
+        "NOT": 1,
+        "NAND": 2,
+        "NOR": 2,
+        "AND": 3,
+        "OR": 3,
+        "XOR": 4,
+        "XNOR": 4,
+        "MUX": 4,
+        "*": 3,
+    },
+}
+
+
+def delay_model(
+    circuit: Circuit,
+    model: str = "unit",
+    *,
+    overrides: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Per-vertex delay map for *circuit* under the named *model*.
+
+    ``overrides`` maps cell *instance names* to delays and wins over
+    the family table.  The host vertices always have delay 0.
+    """
+    try:
+        table = DELAY_MODELS[model]
+    except KeyError:
+        raise ValueError(
+            "unknown delay model %r (available: %s)"
+            % (model, ", ".join(sorted(DELAY_MODELS)))
+        )
+    default = table["*"]
+    delays: Dict[str, int] = {HOST: 0, HOST_OUT: 0}
+    for cell in circuit.cells:
+        delays[cell.name] = table.get(family_of(cell.function.name), default)
+    if overrides:
+        for name, value in overrides.items():
+            if name not in delays:
+                raise ValueError("override for unknown cell %r" % name)
+            delays[name] = int(value)
+    return delays

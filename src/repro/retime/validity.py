@@ -1,0 +1,209 @@
+"""End-to-end retiming validity checking -- the paper, executable.
+
+This module ties the whole library together.  Given an original design
+D and a retiming (a move sequence or a lag assignment), it verifies the
+paper's claims on the concrete pair:
+
+* **Corollary 4.4**: no hazardous moves  ==>  ``C ⊑ D`` (hence safe
+  replacement, Proposition 3.1);
+* **Theorem 4.5**: at most k net forward crossings of any
+  non-justifiable element  ==>  ``C^k ⊑ D``;
+* **Corollary 5.3**: regardless of hazard, the conservative
+  three-valued simulator started all-X produces identical output
+  sequences for C and D on every input sequence (checked on supplied or
+  randomly sampled ternary sequences).
+
+Implication checks run on explicit STGs and are therefore limited to
+small state spaces; CLS invariance checks are pure simulation and scale
+to any circuit the simulators handle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..logic.ternary import ONE, T, X, ZERO
+from ..netlist.circuit import Circuit
+from ..sim.ternary_sim import cls_outputs
+from ..stg.delayed import delay_needed_for_implication, delayed_implies
+from ..stg.equivalence import implies
+from ..stg.explicit import extract_stg
+from ..stg.replaceability import is_safe_replacement
+from .engine import RetimingSession
+
+__all__ = [
+    "random_ternary_sequences",
+    "cls_equivalent",
+    "first_cls_difference",
+    "ValidityReport",
+    "check_retiming_validity",
+]
+
+
+def random_ternary_sequences(
+    num_inputs: int,
+    *,
+    count: int = 20,
+    length: int = 12,
+    seed: int = 0,
+    x_bias: float = 0.25,
+) -> Tuple[Tuple[Tuple[T, ...], ...], ...]:
+    """Random three-valued input sequences for invariance checking.
+
+    ``x_bias`` is the probability of an X at each position; the rest is
+    split evenly between 0 and 1.
+    """
+    rng = random.Random(seed)
+    sequences: List[Tuple[Tuple[T, ...], ...]] = []
+    for _ in range(count):
+        seq: List[Tuple[T, ...]] = []
+        for _ in range(length):
+            vector = tuple(
+                X if rng.random() < x_bias else (ONE if rng.random() < 0.5 else ZERO)
+                for _ in range(num_inputs)
+            )
+            seq.append(vector)
+        sequences.append(tuple(seq))
+    return tuple(sequences)
+
+
+def cls_equivalent(
+    original: Circuit,
+    retimed: Circuit,
+    sequences: Optional[Sequence[Sequence[Sequence[T]]]] = None,
+    **kwargs,
+) -> bool:
+    """Check Corollary 5.3 on concrete sequences (default: random).
+
+    Extra keyword arguments are forwarded to
+    :func:`random_ternary_sequences`.
+    """
+    return first_cls_difference(original, retimed, sequences, **kwargs) is None
+
+
+def first_cls_difference(
+    original: Circuit,
+    retimed: Circuit,
+    sequences: Optional[Sequence[Sequence[Sequence[T]]]] = None,
+    **kwargs,
+) -> Optional[Tuple[int, int]]:
+    """The first (sequence index, cycle) where CLS outputs differ, or
+    ``None`` when all checked sequences agree.
+
+    Equal-length sequence batches run through the vectorised dual-rail
+    simulator; ragged batches fall back to the scalar CLS.
+    """
+    if sequences is None:
+        sequences = random_ternary_sequences(len(original.inputs), **kwargs)
+    sequences = list(sequences)
+    if not sequences:
+        return None
+    lengths = {len(seq) for seq in sequences}
+    if len(lengths) == 1:
+        from ..sim.ternary_multi import BatchedTernarySimulator
+
+        out_a = BatchedTernarySimulator(original).run_sequences(sequences)
+        out_b = BatchedTernarySimulator(retimed).run_sequences(sequences)
+        for index in range(len(sequences)):
+            for cycle, (va, vb) in enumerate(zip(out_a[index], out_b[index])):
+                if va != vb:
+                    return index, cycle
+        return None
+    for index, sequence in enumerate(sequences):
+        a = cls_outputs(original, sequence)
+        b = cls_outputs(retimed, sequence)
+        for cycle, (va, vb) in enumerate(zip(a, b)):
+            if va != vb:
+                return index, cycle
+    return None
+
+
+@dataclass(frozen=True)
+class ValidityReport:
+    """Everything the paper's theorems say about one retiming session.
+
+    Attributes
+    ----------
+    hazardous_moves:
+        Count of kind-(iv) moves (forward across non-justifiable).
+    theorem45_k:
+        The delay bound k from the move accounting.
+    implication_holds:
+        ``C ⊑ D`` (None when STGs were too large to build).
+    safe_replacement_holds:
+        ``C ≼ D`` (None likewise).
+    delayed_implication_holds:
+        ``C^k ⊑ D`` for the computed k (None likewise).
+    min_delay:
+        The least n with ``C^n ⊑ D`` (None if skipped/not found).
+    cls_invariant:
+        Corollary 5.3 verified on the sampled input sequences.
+    """
+
+    hazardous_moves: int
+    theorem45_k: int
+    implication_holds: Optional[bool]
+    safe_replacement_holds: Optional[bool]
+    delayed_implication_holds: Optional[bool]
+    min_delay: Optional[int]
+    cls_invariant: bool
+
+    def consistent_with_paper(self) -> bool:
+        """Do the observations match the theorems?
+
+        - Corollary 5.3 must always hold.
+        - If no hazardous move was made, implication (and hence safe
+          replacement) must hold.
+        - Delayed implication at k must hold whenever checked.
+        """
+        if not self.cls_invariant:
+            return False
+        if self.hazardous_moves == 0:
+            for verdict in (self.implication_holds, self.safe_replacement_holds):
+                if verdict is False:
+                    return False
+        if self.delayed_implication_holds is False:
+            return False
+        if self.min_delay is not None and self.min_delay > self.theorem45_k:
+            return False
+        return True
+
+
+def check_retiming_validity(
+    session: RetimingSession,
+    *,
+    check_stg: bool = True,
+    max_stg_bits: int = 16,
+    sequences: Optional[Sequence[Sequence[Sequence[T]]]] = None,
+    seed: int = 0,
+) -> ValidityReport:
+    """Run the full battery of paper checks on a retiming session."""
+    original, retimed = session.original, session.current
+    k = session.theorem45_k
+
+    implication = safe = delayed = None
+    min_delay = None
+    bits = max(
+        original.num_latches + len(original.inputs),
+        retimed.num_latches + len(retimed.inputs),
+    )
+    if check_stg and bits <= max_stg_bits:
+        d_stg = extract_stg(original)
+        c_stg = extract_stg(retimed)
+        implication = implies(c_stg, d_stg)
+        safe = is_safe_replacement(c_stg, d_stg)
+        delayed = delayed_implies(c_stg, d_stg, k)
+        min_delay = delay_needed_for_implication(c_stg, d_stg)
+
+    invariant = cls_equivalent(original, retimed, sequences, seed=seed)
+    return ValidityReport(
+        hazardous_moves=session.hazardous_move_count,
+        theorem45_k=k,
+        implication_holds=implication,
+        safe_replacement_holds=safe,
+        delayed_implication_holds=delayed,
+        min_delay=min_delay,
+        cls_invariant=invariant,
+    )

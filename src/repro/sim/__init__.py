@@ -1,0 +1,42 @@
+"""Simulators: binary, conservative three-valued (CLS), exact, faulty."""
+
+from .core import SimulationTrace, propagate  # noqa: F401
+from .binary import (  # noqa: F401
+    BinarySimulator,
+    all_power_up_states,
+    format_state,
+    parse_state,
+    state_from_int,
+    state_to_int,
+)
+from .ternary_sim import (  # noqa: F401
+    TernarySimulator,
+    all_x_state,
+    cls_outputs,
+    cls_resets,
+)
+from .multi import BatchedBinarySimulator, all_states_array  # noqa: F401
+from .exact import (  # noqa: F401
+    ExactSimulator,
+    exact_outputs,
+    is_initializing_sequence,
+    synchronized_state,
+)
+from .fault import (  # noqa: F401
+    FaultSimulator,
+    StuckAtFault,
+    TestEvaluation,
+    detection_time,
+    detects_cls,
+    detects_exact,
+    enumerate_faults,
+    faulty_overrides,
+)
+from .atpg import AtpgResult, generate_tests, grade_test_set  # noqa: F401
+from .event_driven import ActivityStats, EventDrivenSimulator  # noqa: F401
+from .ternary_multi import (  # noqa: F401
+    BatchedTernarySimulator,
+    decode_ternary,
+    encode_ternary,
+)
+from .vcd import trace_to_vcd  # noqa: F401

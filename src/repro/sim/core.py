@@ -1,0 +1,131 @@
+"""Shared cycle-simulation machinery.
+
+All three scalar simulators (binary, conservative ternary, faulty
+variants of either) follow the same schedule each clock cycle:
+
+1. fix the *source nets* -- primary inputs and latch outputs -- from the
+   applied input vector and the current state;
+2. evaluate every cell once, in topological order of the combinational
+   core;
+3. read the primary outputs;
+4. read the latch data inputs to form the next state.
+
+The only degrees of freedom are the value domain (``bool`` vs
+:class:`~repro.logic.ternary.T`) and an optional set of *net overrides*
+used for stuck-at fault injection (an overridden net takes the forced
+value no matter what its driver computes -- including source nets).
+
+:func:`propagate` implements step 1-2 generically and is reused by every
+scalar simulator; the batched numpy simulator in
+:mod:`repro.sim.multi` has its own vectorised core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, List, Mapping, Optional, Sequence, Tuple, TypeVar
+
+from ..netlist.circuit import Circuit
+
+__all__ = ["propagate", "SimulationTrace"]
+
+V = TypeVar("V")
+
+
+def propagate(
+    circuit: Circuit,
+    input_values: Sequence[V],
+    state: Sequence[V],
+    *,
+    ternary: bool,
+    overrides: Optional[Mapping[str, V]] = None,
+) -> Dict[str, V]:
+    """Evaluate the combinational core for one cycle.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to evaluate (must have an acyclic combinational core).
+    input_values:
+        One value per primary input, in :attr:`Circuit.inputs` order.
+    state:
+        One value per latch, in :attr:`Circuit.latch_names` order.
+    ternary:
+        Selects :meth:`CellFunction.eval_ternary` (conservative) vs
+        :meth:`CellFunction.eval_binary`.
+    overrides:
+        Optional stuck-at forcing: net name -> forced value.
+
+    Returns the complete net -> value map for the cycle.
+    """
+    inputs = circuit.inputs
+    latch_names = circuit.latch_names
+    if len(input_values) != len(inputs):
+        raise ValueError(
+            "circuit %s has %d inputs, got %d values"
+            % (circuit.name, len(inputs), len(input_values))
+        )
+    if len(state) != len(latch_names):
+        raise ValueError(
+            "circuit %s has %d latches, got state of length %d"
+            % (circuit.name, len(latch_names), len(state))
+        )
+    overrides = overrides or {}
+
+    values: Dict[str, V] = {}
+
+    def write(net: str, value: V) -> None:
+        values[net] = overrides.get(net, value)
+
+    for net, value in zip(inputs, input_values):
+        write(net, value)
+    for latch, value in zip(circuit.latches, state):
+        write(latch.data_out, value)
+
+    cells = circuit._cells  # noqa: SLF001 - hot path, avoid tuple rebuilds
+    for cell_name in circuit.topological_cells():
+        cell = cells[cell_name]
+        in_vals = tuple(values[n] for n in cell.inputs)
+        out_vals = (
+            cell.function.eval_ternary(in_vals)
+            if ternary
+            else cell.function.eval_binary(in_vals)
+        )
+        for net, value in zip(cell.outputs, out_vals):
+            write(net, value)
+    return values
+
+
+@dataclass
+class SimulationTrace(Generic[V]):
+    """The result of running a simulator over an input sequence.
+
+    Attributes
+    ----------
+    inputs:
+        The applied input vectors, one per cycle.
+    outputs:
+        The observed primary-output vectors, one per cycle
+        (:attr:`Circuit.outputs` order).
+    states:
+        The latch state *before* each cycle, plus the final state; so
+        ``len(states) == len(outputs) + 1``.
+    """
+
+    inputs: List[Tuple[V, ...]] = field(default_factory=list)
+    outputs: List[Tuple[V, ...]] = field(default_factory=list)
+    states: List[Tuple[V, ...]] = field(default_factory=list)
+
+    @property
+    def final_state(self) -> Tuple[V, ...]:
+        """The latch state after the last simulated cycle."""
+        if not self.states:
+            raise ValueError("empty trace has no final state")
+        return self.states[-1]
+
+    def output_column(self, index: int = 0) -> Tuple[V, ...]:
+        """The sequence of values seen at primary output *index*."""
+        return tuple(vec[index] for vec in self.outputs)
+
+    def __len__(self) -> int:
+        return len(self.outputs)

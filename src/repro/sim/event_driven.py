@@ -1,0 +1,185 @@
+"""Event-driven cycle simulation with activity statistics.
+
+The production simulators of the paper's era (the three-valued
+simulators of [JMV69]-lineage, Verilog-XL, ...) were *event driven*:
+a cell is re-evaluated only when one of its inputs changes.  This
+module provides that engine as an alternative to the levelised
+oblivious simulator in :mod:`repro.sim.core` -- bit-identical results
+(a property the test-suite checks against both the binary and the
+ternary reference simulators), but with per-cycle *event counts* that
+expose switching activity, and large savings on quiet circuits.
+
+Scheduling: cells carry a static topological level; pending cells sit
+in a min-heap keyed by level, so every cell is evaluated at most once
+per cycle, after all of its drivers have settled -- the textbook
+levelised-event-driven compromise that needs no delta cycles on an
+acyclic combinational core.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..logic.ternary import T, to_ternary
+from ..netlist.circuit import Circuit
+from .core import SimulationTrace
+
+__all__ = ["EventDrivenSimulator", "ActivityStats"]
+
+Value = Union[bool, T]
+
+
+@dataclass
+class ActivityStats:
+    """Per-run switching-activity accounting.
+
+    ``evaluations[t]`` is the number of cell evaluations in cycle t;
+    an oblivious simulator would always evaluate ``num_cells``.
+    """
+
+    num_cells: int
+    evaluations: List[int] = field(default_factory=list)
+
+    @property
+    def total_evaluations(self) -> int:
+        return sum(self.evaluations)
+
+    @property
+    def activity_factor(self) -> float:
+        """Mean fraction of cells evaluated per cycle (1.0 = oblivious)."""
+        if not self.evaluations or self.num_cells == 0:
+            return 0.0
+        return self.total_evaluations / (self.num_cells * len(self.evaluations))
+
+
+class EventDrivenSimulator:
+    """Event-driven binary or conservative-ternary simulation.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit (acyclic combinational core required).
+    ternary:
+        Selects the value domain and per-cell semantics: ``False`` =
+        Boolean, ``True`` = the conservative ternary functions (making
+        this an event-driven CLS).
+    overrides:
+        Stuck-at forcing (net -> value), as in the other simulators.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        *,
+        ternary: bool = False,
+        overrides: Optional[Mapping[str, Value]] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.ternary = ternary
+        self.overrides = dict(overrides) if overrides else {}
+
+        # Static structure: level per cell, reader cells per net.
+        order = circuit.topological_cells()
+        self._level: Dict[str, int] = {}
+        for cell_name in order:
+            cell = circuit.cell(cell_name)
+            level = 0
+            for net in cell.inputs:
+                driver = circuit.driver_of(net)
+                if driver[0] == "cell":
+                    level = max(level, self._level[driver[1]] + 1)
+            self._level[cell_name] = level
+        self._readers: Dict[str, List[str]] = {}
+        for cell in circuit.cells:
+            for net in cell.inputs:
+                self._readers.setdefault(net, []).append(cell.name)
+
+        self._values: Dict[str, Value] = {}
+        self._initialised = False
+        self.stats = ActivityStats(num_cells=circuit.num_cells)
+
+    # -- internals ------------------------------------------------------------
+
+    def _coerce(self, value: Value) -> Value:
+        return to_ternary(value) if self.ternary else bool(value)
+
+    def _write(self, net: str, value: Value, heap, pending) -> None:
+        if net in self.overrides:
+            value = self._coerce(self.overrides[net])
+        if self._values.get(net) == value and self._initialised:
+            return
+        self._values[net] = value
+        for reader in self._readers.get(net, ()):
+            if reader not in pending:
+                pending.add(reader)
+                heapq.heappush(heap, (self._level[reader], reader))
+
+    def step(
+        self, state: Sequence[Value], inputs: Sequence[Value]
+    ) -> Tuple[Tuple[Value, ...], Tuple[Value, ...]]:
+        """One clock cycle; returns ``(outputs, next_state)``.
+
+        The first step evaluates everything; later steps only the fanout
+        cones of changed sources.
+        """
+        circuit = self.circuit
+        if len(inputs) != len(circuit.inputs):
+            raise ValueError(
+                "circuit has %d inputs, got %d" % (len(circuit.inputs), len(inputs))
+            )
+        if len(state) != circuit.num_latches:
+            raise ValueError(
+                "circuit has %d latches, got state of %d"
+                % (circuit.num_latches, len(state))
+            )
+        heap: List[Tuple[int, str]] = []
+        pending = set()
+
+        if not self._initialised:
+            for cell in circuit.cells:
+                pending.add(cell.name)
+                heapq.heappush(heap, (self._level[cell.name], cell.name))
+
+        for net, value in zip(circuit.inputs, inputs):
+            self._write(net, self._coerce(value), heap, pending)
+        for latch, value in zip(circuit.latches, state):
+            self._write(latch.data_out, self._coerce(value), heap, pending)
+        self._initialised = True
+
+        evaluations = 0
+        while heap:
+            _, cell_name = heapq.heappop(heap)
+            pending.discard(cell_name)
+            cell = circuit.cell(cell_name)
+            in_vals = tuple(self._values[n] for n in cell.inputs)
+            out_vals = (
+                cell.function.eval_ternary(in_vals)
+                if self.ternary
+                else cell.function.eval_binary(in_vals)
+            )
+            evaluations += 1
+            for net, value in zip(cell.outputs, out_vals):
+                self._write(net, value, heap, pending)
+        self.stats.evaluations.append(evaluations)
+
+        outputs = tuple(self._values[n] for n in circuit.outputs)
+        next_state = tuple(self._values[latch.data_in] for latch in circuit.latches)
+        return outputs, next_state
+
+    def run(
+        self, state: Sequence[Value], input_sequence: Iterable[Sequence[Value]]
+    ) -> SimulationTrace:
+        """Simulate a whole sequence; ``self.stats`` accumulates the
+        per-cycle evaluation counts."""
+        trace: SimulationTrace = SimulationTrace()
+        current = tuple(self._coerce(v) for v in state)
+        trace.states.append(current)
+        for raw in input_sequence:
+            vector = tuple(self._coerce(v) for v in raw)
+            outputs, current = self.step(current, vector)
+            trace.inputs.append(vector)
+            trace.outputs.append(outputs)
+            trace.states.append(current)
+        return trace

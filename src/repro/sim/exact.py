@@ -1,0 +1,177 @@
+"""The paper's hypothetical "sufficiently powerful simulator".
+
+Section 2.1 defines a simulator which, for a given input sequence,
+outputs at each time step:
+
+* ``1`` iff **all** power-up states output 1 at that step,
+* ``0`` iff all power-up states output 0,
+* ``X`` otherwise (two power-up states disagree).
+
+This is exact (non-conservative) three-valued simulation with respect to
+an unknown power-up state.  The paper shows it *can* distinguish a
+retimed circuit from the original (``0·0·1·0`` vs ``0·X·X·X`` for
+Figure 1's D and C), which is what makes the CLS result interesting.
+
+The implementation sweeps every power-up state with the batched numpy
+simulator, so it is exact up to :data:`DEFAULT_MAX_LATCHES` latches and
+falls back to random state sampling beyond (sampling keeps the verdict
+sound for ``X`` but may erroneously report a definite value; callers
+that need exactness pass ``sample=None`` and accept the latch limit).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..logic.ternary import ONE, T, X, ZERO, from_bool
+from ..netlist.circuit import Circuit
+from .multi import BatchedBinarySimulator, all_states_array
+
+__all__ = [
+    "DEFAULT_MAX_LATCHES",
+    "ExactSimulator",
+    "exact_outputs",
+    "is_initializing_sequence",
+    "synchronized_state",
+]
+
+DEFAULT_MAX_LATCHES = 20
+
+TernaryVec = Tuple[T, ...]
+
+
+class ExactSimulator:
+    """Sweep power-up states to compute exact unknown-state outputs.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to analyse.
+    max_latches:
+        Guard for the exhaustive sweep; exceeding it raises unless
+        *sample* is given.
+    sample:
+        If set, use this many uniformly random power-up states instead
+        of all ``2**n`` (with *seed*); the result is then a sound
+        under-approximation of disagreement (X never wrongly reported).
+    overrides:
+        Optional stuck-at forcing (net -> bool), for fault analyses.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        *,
+        max_latches: int = DEFAULT_MAX_LATCHES,
+        sample: Optional[int] = None,
+        seed: int = 0,
+        overrides=None,
+    ) -> None:
+        self.circuit = circuit
+        self.exhaustive = sample is None
+        if self.exhaustive:
+            if circuit.num_latches > max_latches:
+                raise ValueError(
+                    "circuit %s has %d latches; exhaustive sweep capped at %d "
+                    "(pass sample=... to subsample)"
+                    % (circuit.name, circuit.num_latches, max_latches)
+                )
+            self.states = all_states_array(circuit.num_latches)
+        else:
+            rng = np.random.default_rng(seed)
+            self.states = rng.integers(
+                0, 2, size=(int(sample), circuit.num_latches)
+            ).astype(bool)
+        self._sim = BatchedBinarySimulator(circuit, overrides=overrides)
+
+    def outputs(
+        self, input_sequence: Iterable[Sequence[bool]], *, states: Optional[np.ndarray] = None
+    ) -> Tuple[TernaryVec, ...]:
+        """Exact three-valued output sequence for *input_sequence*.
+
+        An optional explicit *states* array restricts the quantifier to
+        a subset of power-up states -- the delayed-design analyses pass
+        the reachable states of ``D^n`` here.
+        """
+        lanes = self.states if states is None else np.asarray(states, dtype=bool)
+        per_cycle, _ = self._sim.run(lanes, input_sequence)
+        result: List[TernaryVec] = []
+        for outputs in per_cycle:
+            row: List[T] = []
+            for pin in range(outputs.shape[1]):
+                column = outputs[:, pin]
+                if column.all():
+                    row.append(ONE)
+                elif not column.any():
+                    row.append(ZERO)
+                else:
+                    row.append(X)
+            result.append(tuple(row))
+        return tuple(result)
+
+    def final_states(
+        self, input_sequence: Iterable[Sequence[bool]], *, states: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """The set of final states (as array rows, duplicates possible)."""
+        lanes = self.states if states is None else np.asarray(states, dtype=bool)
+        _, final = self._sim.run(lanes, input_sequence)
+        return final
+
+
+def exact_outputs(
+    circuit: Circuit,
+    input_sequence: Iterable[Sequence[bool]],
+    *,
+    max_latches: int = DEFAULT_MAX_LATCHES,
+    sample: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[TernaryVec, ...]:
+    """Convenience wrapper: exact unknown-power-up output sequence.
+
+    >>> from repro.bench.paper_circuits import figure1_design_d
+    >>> from repro.logic.ternary import format_ternary_sequence
+    >>> seq = [(False,), (True,), (True,), (True,)]
+    >>> outs = exact_outputs(figure1_design_d(), seq)
+    >>> format_ternary_sequence(v[0] for v in outs)
+    '0·0·1·0'
+    """
+    sim = ExactSimulator(circuit, max_latches=max_latches, sample=sample, seed=seed)
+    return sim.outputs(input_sequence)
+
+
+def is_initializing_sequence(
+    circuit: Circuit,
+    input_sequence: Iterable[Sequence[bool]],
+    *,
+    max_latches: int = DEFAULT_MAX_LATCHES,
+) -> bool:
+    """Does *input_sequence* drive every power-up state to one state?
+
+    This is the classical notion of an initializing (synchronizing /
+    reset) sequence: Figure 2 of the paper shows design D initialised by
+    the length-1 sequence ``0`` while the retimed C is not.
+    """
+    return synchronized_state(circuit, input_sequence, max_latches=max_latches) is not None
+
+
+def synchronized_state(
+    circuit: Circuit,
+    input_sequence: Iterable[Sequence[bool]],
+    *,
+    max_latches: int = DEFAULT_MAX_LATCHES,
+) -> Optional[Tuple[bool, ...]]:
+    """The unique state reached from all power-up states, or ``None``.
+
+    Returns the state tuple if *input_sequence* initialises the circuit,
+    ``None`` if at least two power-up states end up in different states.
+    """
+    sim = ExactSimulator(circuit, max_latches=max_latches)
+    final = sim.final_states(input_sequence)
+    if final.shape[0] == 0:
+        return None
+    first = final[0]
+    if (final == first).all():
+        return tuple(bool(v) for v in first)
+    return None

@@ -1,0 +1,164 @@
+"""Batched Boolean simulation over many power-up states at once.
+
+The paper's hypothetical "sufficiently powerful simulator"
+(Section 2.1) reports a definite output value only when **every**
+power-up state agrees.  Computing that requires simulating all ``2**n``
+states; this module does so with numpy, one boolean array lane per
+state, so that the exact simulator in :mod:`repro.sim.exact` stays fast
+up to ~20 latches.
+
+The vectorised evaluators are dispatched on the cell-function family
+(AND/OR/NAND/NOR/XOR/XNOR/NOT/BUF/MUX/CONST/JUNC); an unknown family
+falls back to per-lane scalar evaluation, which is slow but correct and
+keeps the simulator total over custom cells.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..logic.functions import CellFunction
+from ..netlist.circuit import Circuit
+
+__all__ = ["BatchedBinarySimulator", "all_states_array"]
+
+
+def all_states_array(num_latches: int) -> np.ndarray:
+    """All ``2**n`` states as a boolean array of shape ``(2**n, n)``.
+
+    Row ``i`` equals :func:`repro.sim.binary.state_from_int` of ``i``
+    (latch 0 is the most significant bit).
+    """
+    if num_latches < 0:
+        raise ValueError("negative latch count")
+    count = 1 << num_latches
+    if num_latches == 0:
+        return np.zeros((1, 0), dtype=bool)
+    indices = np.arange(count, dtype=np.int64)
+    columns = [
+        ((indices >> (num_latches - 1 - bit)) & 1).astype(bool)
+        for bit in range(num_latches)
+    ]
+    return np.stack(columns, axis=1)
+
+
+def _family(function: CellFunction) -> str:
+    return function.name.rstrip("0123456789")
+
+
+def _eval_vectorised(
+    function: CellFunction, inputs: List[np.ndarray], batch: int
+) -> List[np.ndarray]:
+    family = _family(function)
+    if family == "AND":
+        return [np.logical_and.reduce(inputs)]
+    if family == "OR":
+        return [np.logical_or.reduce(inputs)]
+    if family == "NAND":
+        return [~np.logical_and.reduce(inputs)]
+    if family == "NOR":
+        return [~np.logical_or.reduce(inputs)]
+    if family == "XOR":
+        return [np.logical_xor.reduce(inputs)]
+    if family == "XNOR":
+        return [~np.logical_xor.reduce(inputs)]
+    if family == "NOT":
+        return [~inputs[0]]
+    if family == "BUF":
+        return [inputs[0].copy()]
+    if family == "MUX":
+        select, when_zero, when_one = inputs
+        return [np.where(select, when_one, when_zero)]
+    if family == "CONST":
+        value = function.name.endswith("1")
+        return [np.full(batch, value, dtype=bool)]
+    if family == "JUNC":
+        return [inputs[0].copy() for _ in range(function.n_outputs)]
+    # Scalar fallback for exotic cells.
+    outputs = [np.empty(batch, dtype=bool) for _ in range(function.n_outputs)]
+    for lane in range(batch):
+        scalar_out = function.eval_binary(tuple(bool(col[lane]) for col in inputs))
+        for pin, value in enumerate(scalar_out):
+            outputs[pin][lane] = value
+    return outputs
+
+
+class BatchedBinarySimulator:
+    """Simulate many Boolean power-up states in lock-step.
+
+    States are boolean arrays of shape ``(batch, num_latches)``; all
+    lanes see the same input vector each cycle (that is the quantifier
+    structure of the powerful simulator: one input sequence, all
+    power-up states).
+    """
+
+    def __init__(
+        self, circuit: Circuit, overrides: Optional[Mapping[str, bool]] = None
+    ) -> None:
+        self.circuit = circuit
+        self.overrides = dict(overrides) if overrides else {}
+        self._topo = circuit.topological_cells()
+
+    def step(
+        self, states: np.ndarray, inputs: Sequence[bool]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One cycle for every lane: returns ``(outputs, next_states)``
+        of shapes ``(batch, num_outputs)`` and ``(batch, num_latches)``.
+        """
+        circuit = self.circuit
+        batch = states.shape[0]
+        if states.shape[1] != circuit.num_latches:
+            raise ValueError(
+                "state array has %d columns, circuit has %d latches"
+                % (states.shape[1], circuit.num_latches)
+            )
+        if len(inputs) != len(circuit.inputs):
+            raise ValueError(
+                "circuit has %d inputs, got %d" % (len(circuit.inputs), len(inputs))
+            )
+
+        values: Dict[str, np.ndarray] = {}
+
+        def write(net: str, column: np.ndarray) -> None:
+            if net in self.overrides:
+                column = np.full(batch, self.overrides[net], dtype=bool)
+            values[net] = column
+
+        for net, bit in zip(circuit.inputs, inputs):
+            write(net, np.full(batch, bool(bit), dtype=bool))
+        for index, latch in enumerate(circuit.latches):
+            write(latch.data_out, states[:, index].copy())
+
+        for cell_name in self._topo:
+            cell = circuit.cell(cell_name)
+            in_cols = [values[n] for n in cell.inputs]
+            out_cols = _eval_vectorised(cell.function, in_cols, batch)
+            for net, column in zip(cell.outputs, out_cols):
+                write(net, column)
+
+        outputs = (
+            np.stack([values[n] for n in circuit.outputs], axis=1)
+            if circuit.outputs
+            else np.zeros((batch, 0), dtype=bool)
+        )
+        next_states = (
+            np.stack([values[latch.data_in] for latch in circuit.latches], axis=1)
+            if circuit.latches
+            else np.zeros((batch, 0), dtype=bool)
+        )
+        return outputs, next_states
+
+    def run(
+        self, states: np.ndarray, input_sequence: Iterable[Sequence[bool]]
+    ) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Simulate a whole sequence; returns ``(outputs_per_cycle,
+        final_states)`` where each outputs entry has shape
+        ``(batch, num_outputs)``."""
+        current = np.array(states, dtype=bool)
+        outputs_per_cycle: List[np.ndarray] = []
+        for vector in input_sequence:
+            outputs, current = self.step(current, tuple(vector))
+            outputs_per_cycle.append(outputs)
+        return outputs_per_cycle, current

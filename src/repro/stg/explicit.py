@@ -1,0 +1,164 @@
+"""Explicit state-transition-graph (STG) extraction.
+
+Following Pixley's setup (quoted in the paper's introduction), the STG
+of a circuit with ``n`` latches is a *completely specified* Mealy
+machine with ``2**n`` states: every state is a legal power-up state,
+whether or not it is reachable from anywhere.  The STG is the object on
+which the paper's behavioural notions -- implication ``C ⊑ D``, safe
+replacement ``C ≼ D``, delayed designs ``D^n``, SHE's TSCC analysis --
+are defined, and this module materialises it by exhaustive simulation.
+
+Sizes: building an STG costs ``2**(latches + inputs)`` simulator steps.
+The guard :data:`MAX_STG_BITS` keeps accidental blow-ups from hanging a
+test run; the circuits the paper's arguments need STGs for have a
+handful of latches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from ..sim.multi import BatchedBinarySimulator, all_states_array
+
+__all__ = ["STG", "extract_stg", "MAX_STG_BITS"]
+
+MAX_STG_BITS = 22
+
+BoolVec = Tuple[bool, ...]
+
+
+@dataclass
+class STG:
+    """A completely specified Mealy machine, explicitly tabulated.
+
+    States and input symbols are dense integer indices:
+
+    * state ``s`` encodes the latch vector via binary counting (latch 0
+      is the most significant bit -- the same convention as
+      :func:`repro.sim.binary.state_from_int`),
+    * input symbol ``a`` likewise encodes the primary-input vector.
+
+    ``next_state[s][a]`` and ``output[s][a]`` give the transition and
+    the output symbol (output vectors encoded as integers the same way).
+    """
+
+    num_latches: int
+    num_inputs: int
+    num_outputs: int
+    next_state: List[List[int]]
+    output: List[List[int]]
+    name: str = "stg"
+
+    @property
+    def num_states(self) -> int:
+        return 1 << self.num_latches
+
+    @property
+    def num_symbols(self) -> int:
+        return 1 << self.num_inputs
+
+    def state_label(self, state: int) -> str:
+        """Binary string label of a state (e.g. ``"10"``)."""
+        if self.num_latches == 0:
+            return "-"
+        return format(state, "0%db" % self.num_latches)
+
+    def output_vector(self, symbol: int) -> BoolVec:
+        """Decode an output symbol back into a bool vector."""
+        return tuple(
+            bool((symbol >> (self.num_outputs - 1 - i)) & 1)
+            for i in range(self.num_outputs)
+        )
+
+    def run(self, state: int, symbols: Sequence[int]) -> Tuple[List[int], int]:
+        """Run the machine; returns ``(output symbols, final state)``."""
+        outputs: List[int] = []
+        current = state
+        for a in symbols:
+            outputs.append(self.output[current][a])
+            current = self.next_state[current][a]
+        return outputs, current
+
+    def successors(self, states: Iterable[int]) -> frozenset:
+        """One-step image of a state set under *all* inputs."""
+        result = set()
+        for s in states:
+            result.update(self.next_state[s])
+        return frozenset(result)
+
+    def edges(self) -> Iterable[Tuple[int, int, int, int]]:
+        """Yield all transitions as ``(state, symbol, next, output)``."""
+        for s in range(self.num_states):
+            row_n = self.next_state[s]
+            row_o = self.output[s]
+            for a in range(self.num_symbols):
+                yield s, a, row_n[a], row_o[a]
+
+    def pretty(self) -> str:
+        """Tabular dump of the machine, one row per (state, input)."""
+        lines = [
+            "STG %s: %d states, %d input symbols, %d output bits"
+            % (self.name, self.num_states, self.num_symbols, self.num_outputs)
+        ]
+        for s, a, nxt, out in self.edges():
+            lines.append(
+                "  %s --%s/%s--> %s"
+                % (
+                    self.state_label(s),
+                    format(a, "0%db" % max(self.num_inputs, 1)),
+                    format(out, "0%db" % max(self.num_outputs, 1)),
+                    self.state_label(nxt),
+                )
+            )
+        return "\n".join(lines)
+
+
+def extract_stg(circuit: Circuit, *, max_bits: int = MAX_STG_BITS) -> STG:
+    """Tabulate the complete STG of *circuit* by exhaustive simulation.
+
+    Uses the batched numpy simulator: one pass per input symbol over all
+    ``2**n`` states.  Raises :class:`ValueError` when
+    ``latches + inputs`` exceeds *max_bits*.
+    """
+    n, m = circuit.num_latches, len(circuit.inputs)
+    if n + m > max_bits:
+        raise ValueError(
+            "STG of %s needs 2**%d entries (limit 2**%d)"
+            % (circuit.name, n + m, max_bits)
+        )
+    num_outputs = len(circuit.outputs)
+    states = all_states_array(n)
+    sim = BatchedBinarySimulator(circuit)
+
+    num_states = 1 << n
+    num_symbols = 1 << m
+    next_state: List[List[int]] = [[0] * num_symbols for _ in range(num_states)]
+    output: List[List[int]] = [[0] * num_symbols for _ in range(num_states)]
+
+    for symbol in range(num_symbols):
+        bits = tuple(bool((symbol >> (m - 1 - i)) & 1) for i in range(m))
+        outs, nxt = sim.step(states, bits)
+        # Encode output vectors and next states as integers, vectorised.
+        out_codes = np.zeros(num_states, dtype=np.int64)
+        for pin in range(num_outputs):
+            out_codes = (out_codes << 1) | outs[:, pin].astype(np.int64)
+        nxt_codes = np.zeros(num_states, dtype=np.int64)
+        for bit in range(n):
+            nxt_codes = (nxt_codes << 1) | nxt[:, bit].astype(np.int64)
+        for s in range(num_states):
+            next_state[s][symbol] = int(nxt_codes[s])
+            output[s][symbol] = int(out_codes[s])
+
+    return STG(
+        num_latches=n,
+        num_inputs=m,
+        num_outputs=num_outputs,
+        next_state=next_state,
+        output=output,
+        name=circuit.name,
+    )

@@ -1,0 +1,186 @@
+"""SCC / terminal-SCC analysis -- Pixley's Sequential Hardware
+Equivalence (SHE) machinery.
+
+The paper's introduction recounts Pixley's argument: collapse the STG
+by merging equivalent states (the quotient machine), then analyse the
+strongly connected components of the resulting directed graph.  For the
+behaviour of a circuit to be well-defined under a random power-up state,
+the state-minimal graph must have a **single terminal SCC** (TSCC); the
+TSCC defines the steady-state behaviour, everything outside it is
+transient.  "All interesting notions of replacement require equivalence
+of the TSCCs of the two designs."
+
+This module implements:
+
+* Tarjan's SCC algorithm (iterative, so deep STGs don't blow the
+  recursion limit) over the quotient machine's transition graph,
+* terminal-SCC identification,
+* :func:`she_analysis` -- the per-design SHE report (essentially-reset
+  condition = single TSCC),
+* :func:`steady_state_equivalent` -- TSCC equivalence of two designs,
+  the common core of every replacement notion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .equivalence import QuotientMachine, joint_equivalence_classes, quotient
+from .explicit import STG
+
+__all__ = [
+    "strongly_connected_components",
+    "terminal_sccs",
+    "SheReport",
+    "she_analysis",
+    "steady_state_equivalent",
+]
+
+
+def strongly_connected_components(
+    successors: Sequence[Sequence[int]],
+) -> List[FrozenSet[int]]:
+    """Tarjan's algorithm on an adjacency-list graph.
+
+    Returns SCCs in reverse topological order (every edge goes from a
+    later component to an earlier one or stays inside), which is
+    Tarjan's natural output order.
+    """
+    n = len(successors)
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    components: List[FrozenSet[int]] = []
+    counter = [0]
+
+    for root in range(n):
+        if root in index_of:
+            continue
+        # Iterative Tarjan with an explicit work stack of (node, edge iterator).
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            node, edge_index = work.pop()
+            if edge_index == 0:
+                index_of[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            succ_list = successors[node]
+            while edge_index < len(succ_list):
+                succ = succ_list[edge_index]
+                edge_index += 1
+                if succ not in index_of:
+                    work.append((node, edge_index))
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def terminal_sccs(successors: Sequence[Sequence[int]]) -> List[FrozenSet[int]]:
+    """The sink components: SCCs with no edge leaving them."""
+    components = strongly_connected_components(successors)
+    component_of: Dict[int, int] = {}
+    for index, component in enumerate(components):
+        for node in component:
+            component_of[node] = index
+    terminal: List[FrozenSet[int]] = []
+    for index, component in enumerate(components):
+        is_terminal = all(
+            component_of[succ] == index
+            for node in component
+            for succ in successors[node]
+        )
+        if is_terminal:
+            terminal.append(component)
+    return terminal
+
+
+@dataclass(frozen=True)
+class SheReport:
+    """Result of SHE analysis of one design.
+
+    Attributes
+    ----------
+    num_states, num_blocks:
+        Raw and state-minimal machine sizes.
+    num_sccs, num_terminal_sccs:
+        Component counts of the quotient transition graph.
+    essentially_resettable:
+        Pixley's well-definedness condition: exactly one TSCC.
+    tscc_blocks:
+        The block ids of the (first) terminal SCC, for steady-state
+        comparisons.
+    """
+
+    design: str
+    num_states: int
+    num_blocks: int
+    num_sccs: int
+    num_terminal_sccs: int
+    essentially_resettable: bool
+    tscc_blocks: Tuple[FrozenSet[int], ...]
+
+
+def _quotient_graph(q: QuotientMachine) -> List[List[int]]:
+    return [sorted(set(q.next_block[b])) for b in range(q.num_blocks)]
+
+
+def she_analysis(stg: STG) -> SheReport:
+    """Analyse one design for SHE well-definedness (single TSCC)."""
+    q = quotient(stg)
+    graph = _quotient_graph(q)
+    components = strongly_connected_components(graph)
+    terminal = terminal_sccs(graph)
+    return SheReport(
+        design=stg.name,
+        num_states=stg.num_states,
+        num_blocks=q.num_blocks,
+        num_sccs=len(components),
+        num_terminal_sccs=len(terminal),
+        essentially_resettable=len(terminal) == 1,
+        tscc_blocks=tuple(terminal),
+    )
+
+
+def steady_state_equivalent(c: STG, d: STG) -> bool:
+    """Are the steady-state behaviours (TSCCs) of C and D equivalent?
+
+    Computed on the joint partition: the set of joint-equivalence
+    blocks covered by C's terminal-SCC states must equal the set
+    covered by D's.  Both machines must be essentially resettable for
+    the steady state to be well-defined; if either has multiple TSCCs
+    the union over all of them is compared (the natural generalisation).
+    """
+    blocks_c, blocks_d = joint_equivalence_classes(c, d)
+
+    def tscc_joint_blocks(stg: STG, joint_blocks: List[int]) -> FrozenSet[int]:
+        q = quotient(stg)
+        graph = _quotient_graph(q)
+        terminal = terminal_sccs(graph)
+        states: Set[int] = set()
+        for component in terminal:
+            for block in component:
+                states.update(q.members(block))
+        return frozenset(joint_blocks[s] for s in states)
+
+    return tscc_joint_blocks(c, blocks_c) == tscc_joint_blocks(d, blocks_d)

@@ -1,0 +1,307 @@
+"""Symbolic (BDD-based) sequential analysis.
+
+Pixley's SHE and the safe-replacement work the paper builds on ran
+their state-space analyses symbolically; this module provides that
+substrate on top of :mod:`repro.logic.bdd`:
+
+* :class:`SymbolicMachine` -- a circuit compiled to BDDs: one next-state
+  function per latch, one function per primary output, a monolithic
+  transition relation, and image/preimage operators;
+* symbolic forward reachability and the symbolic **delayed design**
+  ``D^n`` (the image-of-everything chain of Section 3.4), cross-checked
+  against the explicit computation in the test-suite;
+* :func:`product_outputs_equivalent` -- the classic miter-style check:
+  from a given set of initial *state pairs*, do two circuits produce
+  identical outputs on every input sequence?  Combined with the
+  delayed-state sets this decides statements like "C^1 is equivalent to
+  D" (Figure 2's claim) without ever enumerating states.
+
+Variable order: for each machine, current/next state variables are
+interleaved (``s0 s0' s1 s1' ...``) so the image computation's
+next-to-current renaming is order-compatible; input variables go last
+and are shared between machines in product mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..logic.bdd import BDD, BDDManager
+from ..netlist.circuit import Circuit
+
+__all__ = [
+    "SymbolicMachine",
+    "compile_circuit",
+    "symbolic_delayed_states",
+    "product_outputs_equivalent",
+]
+
+
+class SymbolicMachine:
+    """A circuit's functional and relational symbolic encodings.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to compile.
+    manager:
+        Shared :class:`BDDManager` (one is created when omitted).
+    prefix:
+        Distinguishes the state variables of multiple machines in one
+        manager (product constructions).
+    input_vars:
+        Optional pre-built input variable handles (so two machines can
+        share their primary inputs); must match the circuit's input
+        count.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        manager: Optional[BDDManager] = None,
+        *,
+        prefix: str = "",
+        input_vars: Optional[Sequence[BDD]] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.manager = manager if manager is not None else BDDManager()
+        m = self.manager
+
+        # Interleaved current/next state variables.
+        self.state_names: List[str] = []
+        self.next_names: List[str] = []
+        self.state_vars: List[BDD] = []
+        self.next_vars: List[BDD] = []
+        for latch in circuit.latches:
+            cur = "%ss.%s" % (prefix, latch.name)
+            nxt = "%ss.%s'" % (prefix, latch.name)
+            self.state_names.append(cur)
+            self.next_names.append(nxt)
+            self.state_vars.append(m.variable(cur))
+            self.next_vars.append(m.variable(nxt))
+
+        if input_vars is not None:
+            if len(input_vars) != len(circuit.inputs):
+                raise ValueError("input_vars arity mismatch")
+            self.input_vars = list(input_vars)
+            self.input_names = [m.support(v)[0] for v in self.input_vars]
+        else:
+            self.input_names = ["i.%s" % net for net in circuit.inputs]
+            self.input_vars = [m.variable(name) for name in self.input_names]
+
+        # Evaluate every net as a BDD over (state, input) variables.
+        values: Dict[str, BDD] = {}
+        for net, var in zip(circuit.inputs, self.input_vars):
+            values[net] = var
+        for latch, var in zip(circuit.latches, self.state_vars):
+            values[latch.data_out] = var
+        for cell_name in circuit.topological_cells():
+            cell = circuit.cell(cell_name)
+            in_vals = [values[n] for n in cell.inputs]
+            for pin, net in enumerate(cell.outputs):
+                values[net] = _cell_output_bdd(m, cell.function, in_vals, pin)
+
+        #: Next-state function per latch, over (state, input) variables.
+        self.next_functions: List[BDD] = [
+            values[latch.data_in] for latch in circuit.latches
+        ]
+        #: Output function per primary output, over (state, input) vars.
+        self.output_functions: List[BDD] = [values[net] for net in circuit.outputs]
+
+        #: The monolithic transition relation T(s, i, s').
+        relation = m.true
+        for nxt_var, fn in zip(self.next_vars, self.next_functions):
+            relation = relation & nxt_var.iff(fn)
+        self.transition = relation
+
+        self._next_to_state = dict(zip(self.next_names, self.state_names))
+        self._state_to_next = dict(zip(self.state_names, self.next_names))
+
+    # -- state-set helpers ---------------------------------------------------
+
+    def state_cube(self, bits: Sequence[bool]) -> BDD:
+        """The singleton set containing exactly this latch valuation."""
+        if len(bits) != len(self.state_vars):
+            raise ValueError("state width mismatch")
+        return self.manager.cube(
+            {name: bool(bit) for name, bit in zip(self.state_names, bits)}
+        )
+
+    def all_states(self) -> BDD:
+        """The full state set (every power-up state is legal)."""
+        return self.manager.true
+
+    def count_states(self, states: BDD) -> int:
+        """Number of states in a set over this machine's state vars."""
+        # Quantify out anything that is not a state variable.
+        extraneous = [
+            name for name in self.manager.support(states)
+            if name not in self.state_names
+        ]
+        reduced = states.exists(extraneous)
+        return self.manager.count(reduced, self.state_names)
+
+    def enumerate_states(self, states: BDD) -> Iterable[Tuple[bool, ...]]:
+        """Yield the concrete states of a (small) symbolic set, in
+        latch order."""
+        remaining = states
+        while not remaining.is_false:
+            model = remaining.satisfy_one()
+            assert model is not None
+            full = {name: model.get(name, False) for name in self.state_names}
+            bits = tuple(full[name] for name in self.state_names)
+            yield bits
+            remaining = remaining & ~self.state_cube(bits)
+
+    # -- image operators ---------------------------------------------------------
+
+    def image(self, states: BDD) -> BDD:
+        """One-step forward image under all inputs."""
+        step = (states & self.transition).exists(
+            self.state_names
+        ).exists(self.input_names)
+        return step.rename(self._next_to_state)
+
+    def preimage(self, states: BDD) -> BDD:
+        """One-step backward image under all inputs."""
+        primed = states.rename(self._state_to_next)
+        return (primed & self.transition).exists(self.next_names).exists(
+            self.input_names
+        )
+
+    def reachable(self, initial: BDD) -> BDD:
+        """Least fixpoint of the image from *initial*."""
+        frontier = initial
+        total = initial
+        while True:
+            new = self.image(frontier) & ~total
+            if new.is_false:
+                return total
+            total = total | new
+            frontier = new
+
+    def delayed(self, cycles: int) -> BDD:
+        """The symbolic delayed design ``D^cycles`` (Section 3.4)."""
+        current = self.all_states()
+        for _ in range(cycles):
+            current = self.image(current)
+        return current
+
+
+def _cell_output_bdd(
+    manager: BDDManager, function, inputs: List[BDD], pin: int
+) -> BDD:
+    """One output pin of a cell as a BDD, by family dispatch with a
+    Shannon-expansion fallback for exotic cells."""
+    family = function.name.rstrip("0123456789")
+    if family == "AND":
+        return manager.conjunction(inputs)
+    if family == "OR":
+        return manager.disjunction(inputs)
+    if family == "NAND":
+        return ~manager.conjunction(inputs)
+    if family == "NOR":
+        return ~manager.disjunction(inputs)
+    if family == "XOR":
+        acc = manager.false
+        for value in inputs:
+            acc = acc ^ value
+        return acc
+    if family == "XNOR":
+        acc = manager.false
+        for value in inputs:
+            acc = acc ^ value
+        return ~acc
+    if family == "NOT":
+        return ~inputs[0]
+    if family in ("BUF", "JUNC"):
+        return inputs[0]
+    if family == "CONST":
+        return manager.constant(function.name.endswith("1"))
+    if family == "MUX":
+        select, when_zero, when_one = inputs
+        return (select & when_one) | (~select & when_zero)
+    # Fallback: sum of minterms of the truth table.
+    import itertools
+
+    acc = manager.false
+    for bits in itertools.product((False, True), repeat=function.n_inputs):
+        if function.eval_binary(bits)[pin]:
+            cube = manager.true
+            for value, bit in zip(inputs, bits):
+                cube = cube & (value if bit else ~value)
+            acc = acc | cube
+    return acc
+
+
+def compile_circuit(circuit: Circuit) -> SymbolicMachine:
+    """Compile *circuit* into a fresh manager."""
+    return SymbolicMachine(circuit)
+
+
+def symbolic_delayed_states(circuit: Circuit, cycles: int) -> frozenset:
+    """The state set of ``D^cycles`` as integers (MSB = latch 0),
+    computed symbolically -- the BDD counterpart of
+    :func:`repro.stg.delayed.delayed_states`."""
+    machine = compile_circuit(circuit)
+    states = machine.delayed(cycles)
+    result = set()
+    for bits in machine.enumerate_states(states):
+        value = 0
+        for bit in bits:
+            value = (value << 1) | int(bit)
+        result.add(value)
+    return frozenset(result)
+
+
+def product_outputs_equivalent(
+    c: Circuit,
+    d: Circuit,
+    initial_pairs: Optional[BDD] = None,
+    *,
+    machines: Optional[Tuple[SymbolicMachine, SymbolicMachine]] = None,
+) -> Tuple[bool, Optional[Dict[str, bool]]]:
+    """Miter check: from every initial state pair, do C and D produce
+    identical outputs on every input sequence?
+
+    Builds both machines in one manager with shared inputs, computes
+    the reachable product states from *initial_pairs* (default: the
+    full product -- rarely what you want; pass e.g. the pairs of
+    delayed states), and searches for a reachable pair and input vector
+    with differing outputs.
+
+    Returns ``(equivalent, counterexample_assignment)`` where the
+    counterexample (if any) assigns the state and input variables of
+    the offending configuration.
+    """
+    if machines is not None:
+        mc, md = machines
+        manager = mc.manager
+    else:
+        manager = BDDManager()
+        mc = SymbolicMachine(c, manager, prefix="c.")
+        md = SymbolicMachine(d, manager, prefix="d.", input_vars=mc.input_vars)
+    if len(mc.output_functions) != len(md.output_functions):
+        raise ValueError("output arity mismatch")
+
+    state_names = mc.state_names + md.state_names
+    next_names = mc.next_names + md.next_names
+    rename = {**mc._next_to_state, **md._next_to_state}  # noqa: SLF001
+    transition = mc.transition & md.transition
+    input_names = mc.input_names
+
+    mismatch = manager.false
+    for fc, fd in zip(mc.output_functions, md.output_functions):
+        mismatch = mismatch | (fc ^ fd)
+
+    current = initial_pairs if initial_pairs is not None else manager.true
+    total = current
+    while True:
+        bad = total & mismatch
+        if not bad.is_false:
+            return False, bad.satisfy_one()
+        step = (total & transition).exists(state_names).exists(input_names)
+        new = step.rename(rename) & ~total
+        if new.is_false:
+            return True, None
+        total = total | new

@@ -1,0 +1,95 @@
+"""Tests for the Section 4 structural delay bound."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import max_registers_on_simple_cycle, retiming_delay_bound
+from repro.bench.generators import (
+    correlator,
+    random_sequential_circuit,
+    shift_register,
+)
+from repro.bench.paper_circuits import figure1_design_c, figure1_design_d
+from repro.retime.engine import RetimingSession
+from repro.retime.graph import HOST, HOST_OUT, RetimingEdge, RetimingGraph, build_retiming_graph
+from repro.retime.moves import enabled_moves
+
+
+def test_figure1_bound_is_one():
+    """D has one latch on its single feedback loop (and one-latch host
+    cycles), so at most one forward crossing per junction -- matching
+    the observed k = 1 for the hazardous move."""
+    assert retiming_delay_bound(figure1_design_d()) == 1
+    # C's feedback cycles each carry exactly one of its two latches.
+    assert retiming_delay_bound(figure1_design_c()) == 1
+
+
+def test_shift_register_bound_counts_host_cycle():
+    """The paper's footnote: cycles pass through the host, so a pure
+    4-deep pipeline has a 4-register host cycle."""
+    assert retiming_delay_bound(shift_register(4)) == 4
+
+
+def test_correlator_bound():
+    c = correlator(6)
+    bound = retiming_delay_bound(c)
+    assert bound >= 6  # the whole delay line closes through the host
+
+
+def test_acyclic_graph_bound_zero():
+    g = RetimingGraph(
+        vertices=("a",),
+        edges=(RetimingEdge("a", "a", 2),),
+    )
+    # Self loop with weight 2.
+    assert max_registers_on_simple_cycle(g) == 2
+    g2 = RetimingGraph(vertices=("a", "b"), edges=(RetimingEdge("a", "b", 3),))
+    assert max_registers_on_simple_cycle(g2) == 0
+
+
+def test_parallel_edges_take_the_heaviest():
+    g = RetimingGraph(
+        vertices=("a", "b"),
+        edges=(
+            RetimingEdge("a", "b", 1, sink_pin=0),
+            RetimingEdge("a", "b", 3, sink_pin=1),
+            RetimingEdge("b", "a", 0),
+        ),
+    )
+    assert max_registers_on_simple_cycle(g) == 3
+
+
+def test_cycle_budget_guard():
+    # A dense graph with many cycles trips the guard.
+    vertices = tuple("v%d" % i for i in range(8))
+    edges = tuple(
+        RetimingEdge(u, v, 1, sink_pin=i)
+        for i, u in enumerate(vertices)
+        for v in vertices
+        if u != v
+    )
+    g = RetimingGraph(vertices=vertices, edges=edges)
+    with pytest.raises(MemoryError):
+        max_registers_on_simple_cycle(g, max_cycles=10)
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(0, 2000), steps=st.integers(1, 10))
+def test_theorem45_k_never_exceeds_structural_bound(seed, steps):
+    """The observed k of any random move session is bounded by the
+    paper's structural bound on the original circuit."""
+    rng = random.Random(seed)
+    circuit = random_sequential_circuit(seed % 71, num_gates=7, num_latches=3)
+    bound = retiming_delay_bound(circuit)
+    session = RetimingSession(circuit)
+    for _ in range(steps):
+        moves = enabled_moves(session.current)
+        if not moves:
+            break
+        session.apply(rng.choice(moves))
+    assert session.theorem45_k <= bound, session.summary()

@@ -1,0 +1,34 @@
+"""Tests for report formatting."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ascii_table, banner
+
+
+def test_ascii_table_alignment():
+    text = ascii_table(("name", "n"), [("a", 1), ("long-name", 22)])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "-+-" in lines[1]
+    assert lines[3].startswith("long-name | 22")
+    # All separator-aligned rows have pipes in the same column.
+    pipe_cols = {line.index("|") for line in lines if "|" in line}
+    assert len(pipe_cols) == 1
+
+
+def test_ascii_table_stringifies_cells():
+    text = ascii_table(("x",), [(None,), (3.5,)])
+    assert "None" in text and "3.5" in text
+
+
+def test_ascii_table_indent():
+    text = ascii_table(("a",), [("b",)], indent="  ")
+    assert all(line.startswith("  ") for line in text.splitlines())
+
+
+def test_banner():
+    text = banner("Table 1")
+    lines = text.splitlines()
+    assert lines[0] == "=" * 72
+    assert lines[1] == "Table 1"
+    assert lines[2] == lines[0]

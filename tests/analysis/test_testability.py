@@ -1,0 +1,84 @@
+"""Tests for Theorem 4.6 test-set preservation analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.testability import (
+    PreservationReport,
+    delayed_tests,
+    preservation_report,
+    is_test_preserved_delayed,
+    is_test_preserved_directly,
+)
+from repro.bench.paper_circuits import (
+    FIGURE3_TEST_SEQUENCE,
+    figure3_design_c,
+    figure3_design_d,
+    figure3_fault,
+)
+
+
+def test_delayed_tests_enumerate_prefixes():
+    variants = delayed_tests(FIGURE3_TEST_SEQUENCE, 1, 1)
+    assert len(variants) == 2
+    assert ((False,), (False,), (True,)) in variants
+    assert ((True,), (False,), (True,)) in variants
+
+
+def test_delayed_tests_k0_is_identity():
+    variants = delayed_tests(FIGURE3_TEST_SEQUENCE, 0, 1)
+    assert variants == (FIGURE3_TEST_SEQUENCE,)
+
+
+def test_delayed_tests_multi_input():
+    variants = delayed_tests(((False, False),), 1, 2)
+    assert len(variants) == 4
+    assert all(len(v) == 2 for v in variants)
+
+
+def test_delayed_tests_guards():
+    with pytest.raises(ValueError):
+        delayed_tests(FIGURE3_TEST_SEQUENCE, -1, 1)
+    with pytest.raises(ValueError):
+        delayed_tests(FIGURE3_TEST_SEQUENCE, 20, 1)
+
+
+def test_figure3_preservation_story():
+    """The full Section 2.2 / Theorem 4.6 story in one report: the test
+    works on D, fails on C directly, works on C^1."""
+    report = preservation_report(
+        figure3_design_d(),
+        figure3_design_c(),
+        figure3_fault(),
+        FIGURE3_TEST_SEQUENCE,
+        k=1,
+    )
+    assert isinstance(report, PreservationReport)
+    assert report.detected_in_original
+    assert not report.detected_in_retimed
+    assert report.detected_in_delayed
+    assert report.k == 1
+
+
+def test_identity_retiming_preserves_tests():
+    from repro.retime.engine import RetimingSession
+
+    d = figure3_design_d()
+    session = RetimingSession(d)
+    session.forward("fanQ")
+    session.backward("fanQ")
+    retimed = session.current
+    assert is_test_preserved_directly(retimed, figure3_fault(), FIGURE3_TEST_SEQUENCE)
+    assert is_test_preserved_delayed(
+        retimed, figure3_fault(), FIGURE3_TEST_SEQUENCE, session.theorem45_k
+    )
+
+
+def test_delayed_check_requires_all_prefixes():
+    """is_test_preserved_delayed is a universal quantifier: it fails if any
+    warm-up prefix misses the fault.  With k=0 on retimed C it reduces
+    to the direct check, which fails."""
+    c = figure3_design_c()
+    assert not is_test_preserved_delayed(c, figure3_fault(), FIGURE3_TEST_SEQUENCE, 0)
+    assert is_test_preserved_delayed(c, figure3_fault(), FIGURE3_TEST_SEQUENCE, 1)

@@ -1,0 +1,177 @@
+"""Every numeric claim the paper makes about Figures 1-3 and Table 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.paper_circuits import (
+    FIGURE3_TEST_SEQUENCE,
+    TABLE1_INPUT_SEQUENCE,
+    figure1_design_c,
+    figure1_design_d,
+    figure3_design_c,
+    figure3_design_d,
+    figure3_fault,
+)
+from repro.logic.ternary import ONE, X, ZERO
+from repro.netlist.validate import validate
+from repro.retime.engine import RetimingSession
+from repro.sim.binary import BinarySimulator, all_power_up_states, format_state
+from repro.sim.exact import exact_outputs, is_initializing_sequence
+from repro.sim.fault import detects_exact
+from repro.sim.ternary_sim import cls_outputs
+from repro.stg.delayed import delay_needed_for_implication
+from repro.stg.equivalence import implies, machines_equivalent
+from repro.stg.explicit import extract_stg
+from repro.stg.replaceability import find_violation, is_safe_replacement
+
+
+def test_structures_are_normal_form():
+    for circuit in (figure1_design_d(), figure1_design_c()):
+        validate(circuit, require_normal_form=True)
+
+
+def test_latch_counts():
+    assert figure1_design_d().num_latches == 1
+    assert figure1_design_c().num_latches == 2
+
+
+def test_c_is_d_after_one_forward_junction_move():
+    """C is literally one hazardous move away from D."""
+    session = RetimingSession(figure1_design_d())
+    session.forward("fanQ")
+    assert machines_equivalent(
+        extract_stg(session.current), extract_stg(figure1_design_c())
+    )
+    assert session.theorem45_k == 1
+
+
+TABLE1_EXPECTED_D = {
+    "0": "0010",
+    "1": "0010",
+}
+TABLE1_EXPECTED_C = {
+    "00": "0010",
+    "01": "0010",
+    "10": "0101",
+    "11": "0010",
+}
+
+
+@pytest.mark.parametrize("state_label,expected", sorted(TABLE1_EXPECTED_D.items()))
+def test_table1_rows_d(state_label, expected):
+    d = figure1_design_d()
+    sim = BinarySimulator(d)
+    state = tuple(ch == "1" for ch in state_label)
+    outs = sim.output_sequence(state, TABLE1_INPUT_SEQUENCE)
+    assert "".join("1" if o[0] else "0" for o in outs) == expected
+
+
+@pytest.mark.parametrize("state_label,expected", sorted(TABLE1_EXPECTED_C.items()))
+def test_table1_rows_c(state_label, expected):
+    c = figure1_design_c()
+    sim = BinarySimulator(c)
+    state = tuple(ch == "1" for ch in state_label)
+    outs = sim.output_sequence(state, TABLE1_INPUT_SEQUENCE)
+    assert "".join("1" if o[0] else "0" for o in outs) == expected
+
+
+def test_rogue_behaviour_absent_from_d():
+    """'an input/output behavior which was not present in the original
+    design': no power-up state of D emits 0·1·0·1 on 0·1·1·1."""
+    d = figure1_design_d()
+    sim = BinarySimulator(d)
+    for state in all_power_up_states(d):
+        outs = sim.output_sequence(state, TABLE1_INPUT_SEQUENCE)
+        assert [o[0] for o in outs] != [False, True, False, True]
+
+
+def test_initialization_claims():
+    """Figure 2: D initialised by the length-1 sequence 0; C is not."""
+    assert is_initializing_sequence(figure1_design_d(), [(False,)])
+    assert not is_initializing_sequence(figure1_design_c(), [(False,)])
+
+
+def test_safe_replacement_violation_is_the_paper_one():
+    c = extract_stg(figure1_design_c())
+    d = extract_stg(figure1_design_d())
+    assert not is_safe_replacement(c, d)
+    violation = find_violation(c, d)
+    assert violation.c_state == 2  # "10"
+    assert not implies(c, d)
+    assert delay_needed_for_implication(c, d) == 1  # C^1 ⊑ D
+
+
+def test_powerful_simulator_section21():
+    assert [v[0] for v in exact_outputs(figure1_design_d(), TABLE1_INPUT_SEQUENCE)] == [
+        ZERO,
+        ZERO,
+        ONE,
+        ZERO,
+    ]
+    assert [v[0] for v in exact_outputs(figure1_design_c(), TABLE1_INPUT_SEQUENCE)] == [
+        ZERO,
+        X,
+        X,
+        X,
+    ]
+
+
+def test_cls_cannot_distinguish_d_from_c_section5():
+    for seq in (
+        TABLE1_INPUT_SEQUENCE,
+        [(ZERO,)] * 6,
+        [(ONE,), (X,), (ZERO,), (ONE,)],
+    ):
+        assert cls_outputs(figure1_design_d(), seq) == cls_outputs(
+            figure1_design_c(), seq
+        )
+
+
+def test_figure3_is_the_figure1_pair_with_a_fault():
+    d3, c3 = figure3_design_d(), figure3_design_c()
+    assert machines_equivalent(extract_stg(d3), extract_stg(figure1_design_d()))
+    assert machines_equivalent(extract_stg(c3), extract_stg(figure1_design_c()))
+    fault = figure3_fault()
+    assert fault.net == "q2b" and fault.value is True
+    assert d3.has_net(fault.net) and c3.has_net(fault.net)
+
+
+def test_figure3_fault_free_and_faulty_behaviours():
+    """Section 2.2's exact words: fault-free D gives 0·0 from all
+    power-up states on 0·1; faulty D gives 0·1; fault-free C gives 0·0
+    or 0·1 depending on power-up; faulty C gives 0·1 always."""
+    d, c, fault = figure3_design_d(), figure3_design_c(), figure3_fault()
+
+    good_d = BinarySimulator(d)
+    bad_d = BinarySimulator(d, overrides={fault.net: fault.value})
+    for state in all_power_up_states(d):
+        assert [o[0] for o in good_d.output_sequence(state, FIGURE3_TEST_SEQUENCE)] == [
+            False,
+            False,
+        ]
+        assert [o[0] for o in bad_d.output_sequence(state, FIGURE3_TEST_SEQUENCE)] == [
+            False,
+            True,
+        ]
+
+    good_c = BinarySimulator(c)
+    bad_c = BinarySimulator(c, overrides={fault.net: fault.value})
+    seen = set()
+    for state in all_power_up_states(c):
+        outs = tuple(o[0] for o in good_c.output_sequence(state, FIGURE3_TEST_SEQUENCE))
+        seen.add(outs)
+        assert [o[0] for o in bad_c.output_sequence(state, FIGURE3_TEST_SEQUENCE)] == [
+            False,
+            True,
+        ]
+    assert seen == {(False, False), (False, True)}
+
+
+def test_figure3_detection_summary():
+    d, c, fault = figure3_design_d(), figure3_design_c(), figure3_fault()
+    assert detects_exact(d, fault, FIGURE3_TEST_SEQUENCE).detected
+    assert not detects_exact(c, fault, FIGURE3_TEST_SEQUENCE).detected
+    for warmup in (False, True):
+        verdict = detects_exact(c, fault, ((warmup,),) + FIGURE3_TEST_SEQUENCE)
+        assert verdict.detected and verdict.time_step == 2

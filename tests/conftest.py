@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.iscas import load, names
+from repro.bench.paper_circuits import (
+    figure1_design_c,
+    figure1_design_d,
+    figure3_design_c,
+    figure3_design_d,
+    figure3_fault,
+)
+
+
+@pytest.fixture
+def design_d():
+    """Figure 1's original design D (one latch)."""
+    return figure1_design_d()
+
+
+@pytest.fixture
+def design_c():
+    """Figure 1's retimed design C (two latches)."""
+    return figure1_design_c()
+
+
+@pytest.fixture
+def fig3_pair():
+    """Figure 3's (original, retimed, fault) triple."""
+    return figure3_design_d(), figure3_design_c(), figure3_fault()
+
+
+@pytest.fixture(params=names())
+def iscas_circuit(request):
+    """Each embedded benchmark circuit, fanout-normalised."""
+    return load(request.param)

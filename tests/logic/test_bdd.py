@@ -1,0 +1,216 @@
+"""Tests for the ROBDD engine: canonicity, operators, quantifiers."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.bdd import BDDManager
+
+
+@pytest.fixture
+def m():
+    return BDDManager()
+
+
+# ---------------------------------------------------------------------------
+# Basics and canonicity.
+# ---------------------------------------------------------------------------
+
+
+def test_constants(m):
+    assert m.true.is_true and not m.true.is_false
+    assert m.false.is_false
+    assert m.constant(True) == m.true
+    assert (~m.true) == m.false
+
+
+def test_variable_identity(m):
+    a1 = m.variable("a")
+    a2 = m.variable("a")
+    assert a1 == a2
+    assert m.variable_names == ("a",)
+
+
+def test_canonicity_of_equivalent_formulas(m):
+    a, b, c = m.declare("a", "b", "c")
+    # Distribution: a & (b | c) == (a & b) | (a & c)
+    assert (a & (b | c)) == ((a & b) | (a & c))
+    # De Morgan.
+    assert ~(a & b) == (~a | ~b)
+    # XOR via ands/ors.
+    assert (a ^ b) == ((a & ~b) | (~a & b))
+    # Idempotence / complements.
+    assert (a & a) == a
+    assert (a & ~a) == m.false
+    assert (a | ~a) == m.true
+
+
+def test_iff_and_implies(m):
+    a, b = m.declare("a", "b")
+    assert a.iff(b) == ~(a ^ b)
+    assert a.implies(b) == (~a | b)
+    assert m.false.implies(a).is_true
+
+
+def test_cross_manager_operations_rejected():
+    m1, m2 = BDDManager(), BDDManager()
+    with pytest.raises(ValueError):
+        m1.variable("a") & m2.variable("a")
+
+
+# ---------------------------------------------------------------------------
+# Semantics against brute force.
+# ---------------------------------------------------------------------------
+
+
+def _random_formula(m, variables, draw):
+    """Build a random formula and a matching Python evaluator."""
+    choice = draw(st.integers(0, 6))
+    if choice == 0 or not variables:
+        value = draw(st.booleans())
+        return m.constant(value), (lambda env, _v=value: _v)
+    if choice in (1, 2):
+        name = draw(st.sampled_from(variables))
+        return m.variable(name), (lambda env, _n=name: env[_n])
+    left, left_fn = _random_formula(m, variables, draw)
+    right, right_fn = _random_formula(m, variables, draw)
+    if choice == 3:
+        return left & right, (lambda env: left_fn(env) and right_fn(env))
+    if choice == 4:
+        return left | right, (lambda env: left_fn(env) or right_fn(env))
+    if choice == 5:
+        return left ^ right, (lambda env: left_fn(env) != right_fn(env))
+    return ~left, (lambda env: not left_fn(env))
+
+
+@settings(deadline=None, max_examples=25)
+@given(data=st.data())
+def test_bdd_matches_brute_force_truth_table(data):
+    m = BDDManager()
+    variables = ["a", "b", "c", "d"]
+    for name in variables:
+        m.variable(name)
+    f, fn = _random_formula(m, variables, data.draw)
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        env = dict(zip(variables, bits))
+        assert m.evaluate(f, env) == fn(env)
+
+
+@settings(deadline=None, max_examples=15)
+@given(data=st.data())
+def test_semantically_equal_formulas_share_a_node(data):
+    """Canonicity, property-tested: equal truth tables <=> equal index."""
+    m = BDDManager()
+    variables = ["a", "b", "c"]
+    for name in variables:
+        m.variable(name)
+    f, f_fn = _random_formula(m, variables, data.draw)
+    g, g_fn = _random_formula(m, variables, data.draw)
+    tables_equal = all(
+        f_fn(dict(zip(variables, bits))) == g_fn(dict(zip(variables, bits)))
+        for bits in itertools.product((False, True), repeat=3)
+    )
+    assert (f == g) == tables_equal
+
+
+# ---------------------------------------------------------------------------
+# Restriction, quantification, renaming.
+# ---------------------------------------------------------------------------
+
+
+def test_restrict_cofactors(m):
+    a, b = m.declare("a", "b")
+    f = (a & b) | (~a & ~b)  # XNOR
+    assert f.restrict({"a": True}) == b
+    assert f.restrict({"a": False}) == ~b
+    assert f.restrict({"a": True, "b": True}).is_true
+
+
+def test_exists_forall(m):
+    a, b, c = m.declare("a", "b", "c")
+    f = (a & b) | c
+    assert f.exists(["a"]) == (b | c)
+    assert f.forall(["a"]) == c
+    # Quantifying out everything yields a constant.
+    assert f.exists(["a", "b", "c"]).is_true
+    assert (a & ~a).exists(["a"]).is_false
+
+
+def test_rename_adjacent_pairs(m):
+    # Interleaved declaration as the symbolic machines use.
+    s0, s0n, s1, s1n = m.declare("s0", "s0'", "s1", "s1'")
+    f = s0n & ~s1n
+    g = f.rename({"s0'": "s0", "s1'": "s1"})
+    assert g == (s0 & ~s1)
+
+
+def test_rename_rejects_order_incompatible(m):
+    a, b = m.declare("a", "b")
+    f = a & ~b
+    with pytest.raises(ValueError, match="order-compatible"):
+        f.rename({"a": "b", "b": "a"})  # would swap levels
+
+
+def test_rename_empty_mapping_is_identity(m):
+    a = m.variable("a")
+    assert a.rename({}) == a
+
+
+# ---------------------------------------------------------------------------
+# Support, satisfy, count.
+# ---------------------------------------------------------------------------
+
+
+def test_support(m):
+    a, b, c = m.declare("a", "b", "c")
+    f = (a & b) | (a & ~b)  # == a
+    assert f == a
+    assert f.support() == ("a",)
+    assert ((a ^ c)).support() == ("a", "c")
+    assert m.true.support() == ()
+
+
+def test_satisfy_one(m):
+    a, b = m.declare("a", "b")
+    assert m.false.satisfy_one() is None
+    model = (a & ~b).satisfy_one()
+    assert model == {"a": True, "b": False}
+    assert m.true.satisfy_one() == {}
+
+
+def test_count(m):
+    a, b, c = m.declare("a", "b", "c")
+    assert (a & b).count(["a", "b"]) == 1
+    assert (a | b).count(["a", "b"]) == 3
+    assert (a | b).count(["a", "b", "c"]) == 6
+    assert m.true.count(["a", "b", "c"]) == 8
+    assert m.false.count(["a"]) == 0
+    with pytest.raises(ValueError, match="missing"):
+        (a & b).count(["a"])
+
+
+def test_cube_and_bulk_ops(m):
+    cube = m.cube({"x": True, "y": False})
+    assert cube.satisfy_one() == {"x": True, "y": False}
+    assert cube.count(["x", "y"]) == 1
+    a, b, c = m.declare("a", "b", "c")
+    assert m.conjunction([a, b, c]) == (a & b & c)
+    assert m.disjunction([]) == m.false
+    assert m.conjunction([]) == m.true
+
+
+def test_evaluate_requires_full_assignment(m):
+    a, b = m.declare("a", "b")
+    with pytest.raises(ValueError, match="missing"):
+        m.evaluate(a & b, {"a": True})
+
+
+def test_size_and_num_nodes(m):
+    a, b, c = m.declare("a", "b", "c")
+    f = (a & b) | c
+    assert m.size_of(f) >= 3
+    assert m.num_nodes >= m.size_of(f)

@@ -1,0 +1,178 @@
+"""Tests for the cell-function library."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.functions import (
+    AND,
+    BUF,
+    CONST0,
+    CONST1,
+    CellFunction,
+    MUX,
+    NAND,
+    NOR,
+    NOT,
+    OR,
+    XNOR,
+    XOR,
+    get_function,
+    junction,
+    make_gate,
+)
+from repro.logic.ternary import ONE, T, X, ZERO, all_ternary_vectors
+
+
+ALL_GATE_KINDS = ("AND", "OR", "NAND", "NOR", "XOR", "XNOR")
+
+
+# ---------------------------------------------------------------------------
+# Boolean semantics.
+# ---------------------------------------------------------------------------
+
+
+def test_basic_gate_truth_tables():
+    assert AND.eval_binary((True, True)) == (True,)
+    assert AND.eval_binary((True, False)) == (False,)
+    assert OR.eval_binary((False, False)) == (False,)
+    assert NAND.eval_binary((True, True)) == (False,)
+    assert NOR.eval_binary((False, False)) == (True,)
+    assert XOR.eval_binary((True, False)) == (True,)
+    assert XNOR.eval_binary((True, True)) == (True,)
+    assert NOT.eval_binary((True,)) == (False,)
+    assert BUF.eval_binary((False,)) == (False,)
+    assert MUX.eval_binary((False, True, False)) == (True,)  # select=0 -> data0
+    assert MUX.eval_binary((True, True, False)) == (False,)  # select=1 -> data1
+    assert CONST0.eval_binary(()) == (False,)
+    assert CONST1.eval_binary(()) == (True,)
+
+
+def test_variadic_gates():
+    and3 = make_gate("AND", 3)
+    assert and3.name == "AND3"
+    assert and3.eval_binary((True, True, True)) == (True,)
+    assert and3.eval_binary((True, False, True)) == (False,)
+    xor4 = make_gate("XOR", 4)
+    assert xor4.eval_binary((True, True, True, False)) == (True,)
+
+
+def test_gate_arity_validation():
+    with pytest.raises(ValueError):
+        make_gate("NOT", 2)
+    with pytest.raises(ValueError):
+        make_gate("MUX", 2)
+    with pytest.raises(ValueError):
+        make_gate("AND", 0)
+    with pytest.raises(ValueError):
+        make_gate("FROB", 2)
+    with pytest.raises(ValueError):
+        AND.eval_binary((True,))
+
+
+def test_junction_replication():
+    j3 = junction(3)
+    assert j3.n_inputs == 1 and j3.n_outputs == 3
+    assert j3.eval_binary((True,)) == (True, True, True)
+    assert j3.eval_ternary((X,)) == (X, X, X)
+    with pytest.raises(ValueError):
+        junction(0)
+
+
+def test_registry_interns_gates():
+    assert make_gate("AND", 2) is AND
+    assert junction(2) is junction(2)
+
+
+def test_get_function_by_name():
+    assert get_function("AND") is AND
+    assert get_function("and3").n_inputs == 3
+    assert get_function("JUNC4").n_outputs == 4
+    assert get_function("NOT") is NOT
+    assert get_function("CONST1") is CONST1
+    with pytest.raises(ValueError):
+        get_function("BOGUS")
+
+
+# ---------------------------------------------------------------------------
+# Ternary semantics: the fast evaluators must equal the exact image.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ALL_GATE_KINDS)
+@pytest.mark.parametrize("arity", (1, 2, 3))
+def test_fast_ternary_equals_exact_image(kind, arity):
+    fn = make_gate(kind, arity)
+    for vec in all_ternary_vectors(arity):
+        assert fn.eval_ternary(vec) == fn.exact_ternary_image(vec), (kind, vec)
+
+
+@pytest.mark.parametrize("fn", (NOT, BUF, MUX, CONST0, CONST1, junction(2), junction(3)))
+def test_fast_ternary_equals_exact_image_special(fn):
+    for vec in all_ternary_vectors(fn.n_inputs):
+        assert fn.eval_ternary(vec) == fn.exact_ternary_image(vec), (fn.name, vec)
+
+
+def test_ternary_agrees_with_binary_on_definite_inputs():
+    for fn in (AND, OR, NAND, NOR, XOR, XNOR, NOT, MUX, junction(2)):
+        for bits in itertools.product((False, True), repeat=fn.n_inputs):
+            expected = tuple(ONE if b else ZERO for b in fn.eval_binary(bits))
+            got = fn.eval_ternary(tuple(ONE if b else ZERO for b in bits))
+            assert got == expected, fn.name
+
+
+def test_exact_image_used_when_no_fast_evaluator():
+    # A custom cell without a ternary evaluator: 2-input half adder.
+    ha = CellFunction(
+        "HA",
+        2,
+        2,
+        lambda v: (v[0] != v[1], v[0] and v[1]),
+    )
+    # sum/carry with one X: carry of (0, X) is 0 (AND-like), sum is X.
+    assert ha.eval_ternary((ZERO, X)) == (X, ZERO)
+    assert ha.eval_ternary((ONE, ONE)) == (ZERO, ONE)
+
+
+# ---------------------------------------------------------------------------
+# Structural predicates.
+# ---------------------------------------------------------------------------
+
+
+def test_all_x_to_all_x_property():
+    assert AND.all_x_to_all_x
+    assert XOR.all_x_to_all_x
+    assert junction(3).all_x_to_all_x
+    # Constants violate the Section 5 assumption.
+    assert not CONST0.all_x_to_all_x
+    assert not CONST1.all_x_to_all_x
+
+
+def test_output_image_and_justifiability():
+    assert AND.is_justifiable
+    assert junction(1).is_justifiable  # a buffer
+    assert not junction(2).is_justifiable
+    assert junction(2).output_image() == frozenset(
+        {(False, False), (True, True)}
+    )
+    assert not CONST0.is_justifiable  # image is {0} only
+
+
+def test_is_multi_output():
+    assert junction(2).is_multi_output
+    assert not AND.is_multi_output
+
+
+def test_cell_output_count_enforced():
+    broken = CellFunction("BAD", 1, 2, lambda v: (v[0],))
+    with pytest.raises(AssertionError):
+        broken.eval_binary((True,))
+
+
+def test_cell_requires_at_least_one_output():
+    with pytest.raises(ValueError):
+        CellFunction("NONE", 1, 0, lambda v: ())

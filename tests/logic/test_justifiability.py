@@ -1,0 +1,86 @@
+"""Tests for the Section 3.2 justifiability analysis."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.logic.functions import AND, CONST0, CONST1, CellFunction, OR, XOR, junction, make_gate
+from repro.logic.justifiability import (
+    analyze,
+    is_justifiable,
+    justify,
+    unjustifiable_vectors,
+)
+
+
+def test_junctions_are_the_canonical_non_justifiable_cells():
+    """Section 3.2: only the all-0 and all-1 output vectors of a k-way
+    junction are producible."""
+    for k in (2, 3, 4):
+        report = analyze(junction(k))
+        assert not report.justifiable
+        assert report.image == frozenset({(False,) * k, (True,) * k})
+        assert len(report.missing) == 2 ** k - 2
+        assert report.coverage == pytest.approx(2 / 2 ** k)
+
+
+def test_single_output_gates_are_justifiable():
+    for fn in (AND, OR, XOR, make_gate("NAND", 3), make_gate("NOT", 1)):
+        assert is_justifiable(fn), fn.name
+        assert unjustifiable_vectors(fn) == ()
+
+
+def test_constants_are_non_justifiable():
+    # The paper's Section 5 remark: a constant-output element behaves
+    # like a non-justifiable cell for forward retiming.
+    assert not is_justifiable(CONST0)
+    assert unjustifiable_vectors(CONST0) == ((True,),)
+    assert not is_justifiable(CONST1)
+    assert unjustifiable_vectors(CONST1) == ((False,),)
+
+
+def test_justify_returns_a_preimage():
+    witness = justify(AND, (True,))
+    assert witness == (True, True)
+    assert justify(AND, (False,)) is not None
+    assert AND.eval_binary(justify(AND, (False,))) == (False,)
+
+
+def test_justify_returns_none_for_missing_vectors():
+    assert justify(junction(2), (True, False)) is None
+    assert justify(junction(2), (True, True)) == (True,)
+
+
+def test_justifiable_multi_output_cell():
+    """A multi-output cell CAN be justifiable: a 2-in/2-out swap cell."""
+    swap = CellFunction("SWAP", 2, 2, lambda v: (v[1], v[0]))
+    report = analyze(swap)
+    assert report.justifiable
+    # Every output vector has its (unique) preimage.
+    for out in itertools.product((False, True), repeat=2):
+        pre = justify(swap, out)
+        assert swap.eval_binary(pre) == out
+
+
+def test_non_justifiable_multi_output_gate_from_paper_model():
+    """Section 3.2: multi-output gates whose image misses vectors are as
+    dangerous as junctions -- e.g. a cell computing (a, not a)."""
+    comp = CellFunction("PAIR", 1, 2, lambda v: (v[0], not v[0]))
+    report = analyze(comp)
+    assert not report.justifiable
+    assert (True, True) in report.missing
+    assert (False, False) in report.missing
+
+
+def test_describe_mentions_verdict():
+    text = analyze(junction(2)).describe()
+    assert "NON-justifiable" in text
+    assert "JUNC2" in text
+    assert "unjustifiable output vectors" in text
+    assert "justifiable" in analyze(AND).describe()
+
+
+def test_analysis_is_cached():
+    assert analyze(AND) is analyze(AND)

@@ -1,0 +1,257 @@
+"""Unit and property tests for the ternary algebra."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.ternary import (
+    ONE,
+    T,
+    X,
+    ZERO,
+    all_ternary_vectors,
+    definite_completions,
+    format_ternary,
+    format_ternary_sequence,
+    from_bool,
+    is_definite,
+    meet,
+    parse_ternary_string,
+    refines,
+    t_and,
+    t_and_all,
+    t_buf,
+    t_mux,
+    t_nand,
+    t_nor,
+    t_not,
+    t_or,
+    t_or_all,
+    t_xnor,
+    t_xor,
+    t_xor_all,
+    to_bool,
+    to_ternary,
+    vector_refines,
+)
+
+ALL = (ZERO, ONE, X)
+ternary = st.sampled_from(ALL)
+
+
+# ---------------------------------------------------------------------------
+# Conversions.
+# ---------------------------------------------------------------------------
+
+
+def test_to_ternary_accepts_bools_ints_chars_none():
+    assert to_ternary(True) is ONE
+    assert to_ternary(False) is ZERO
+    assert to_ternary(0) is ZERO
+    assert to_ternary(1) is ONE
+    assert to_ternary(2) is X
+    assert to_ternary("x") is X
+    assert to_ternary("X") is X
+    assert to_ternary("?") is X
+    assert to_ternary(None) is X
+    assert to_ternary(ONE) is ONE
+
+
+def test_to_ternary_rejects_garbage():
+    with pytest.raises(ValueError):
+        to_ternary(3)
+    with pytest.raises(ValueError):
+        to_ternary("z")
+    with pytest.raises(TypeError):
+        to_ternary(1.5)
+
+
+def test_to_bool_roundtrip_and_x_rejection():
+    assert to_bool(from_bool(True)) is True
+    assert to_bool(from_bool(False)) is False
+    with pytest.raises(ValueError):
+        to_bool(X)
+
+
+def test_is_definite():
+    assert is_definite(ZERO) and is_definite(ONE) and not is_definite(X)
+
+
+# ---------------------------------------------------------------------------
+# Kleene tables: spot values from the paper, exhaustive laws.
+# ---------------------------------------------------------------------------
+
+
+def test_paper_local_propagation_rule():
+    # "0 · X = 0 but 1 · X = X" -- the defining CLS property.
+    assert t_and(ZERO, X) is ZERO
+    assert t_and(X, ZERO) is ZERO
+    assert t_and(ONE, X) is X
+    assert t_and(X, ONE) is X
+
+
+def test_or_duals():
+    assert t_or(ONE, X) is ONE
+    assert t_or(X, ONE) is ONE
+    assert t_or(ZERO, X) is X
+
+
+def test_not_table():
+    assert t_not(ZERO) is ONE
+    assert t_not(ONE) is ZERO
+    assert t_not(X) is X
+
+
+def test_xor_any_x_is_x():
+    for v in ALL:
+        assert t_xor(v, X) is (X if True else X)
+        assert t_xor(X, v) is X
+    assert t_xor(ONE, ONE) is ZERO
+    assert t_xor(ONE, ZERO) is ONE
+
+
+def test_derived_gates_match_compositions():
+    for a, b in itertools.product(ALL, repeat=2):
+        assert t_nand(a, b) is t_not(t_and(a, b))
+        assert t_nor(a, b) is t_not(t_or(a, b))
+        assert t_xnor(a, b) is t_not(t_xor(a, b))
+    assert t_buf(X) is X
+
+
+def test_mux_definite_select():
+    assert t_mux(ZERO, ONE, ZERO) is ONE
+    assert t_mux(ONE, ONE, ZERO) is ZERO
+    assert t_mux(ONE, X, ONE) is ONE
+
+
+def test_mux_unknown_select_meets_branches():
+    assert t_mux(X, ONE, ONE) is ONE  # both branches agree -> definite
+    assert t_mux(X, ZERO, ZERO) is ZERO
+    assert t_mux(X, ZERO, ONE) is X
+    assert t_mux(X, X, ONE) is X
+
+
+def _definite(v):
+    return (False, True) if v is X else ((v is ONE),)
+
+
+def _exact_binary(op, a, b):
+    outs = {op(x, y) for x in _definite(a) for y in _definite(b)}
+    if outs == {True}:
+        return ONE
+    if outs == {False}:
+        return ZERO
+    return X
+
+
+@pytest.mark.parametrize(
+    "tern_op,bool_op",
+    [
+        (t_and, lambda a, b: a and b),
+        (t_or, lambda a, b: a or b),
+        (t_xor, lambda a, b: a != b),
+        (t_nand, lambda a, b: not (a and b)),
+        (t_nor, lambda a, b: not (a or b)),
+        (t_xnor, lambda a, b: a == b),
+    ],
+)
+def test_binary_ops_are_exact_ternary_images(tern_op, bool_op):
+    """Each Kleene connective is the exact ternary image of its Boolean
+    counterpart -- per-gate exactness, the basis of 'local propagation'."""
+    for a, b in itertools.product(ALL, repeat=2):
+        assert tern_op(a, b) is _exact_binary(bool_op, a, b)
+
+
+@given(a=ternary, b=ternary, ap=ternary, bp=ternary)
+def test_connectives_monotone_in_information_order(a, b, ap, bp):
+    """If inputs get more defined, outputs never get less defined."""
+    if refines(ap, a) and refines(bp, b):
+        for op in (t_and, t_or, t_xor, t_nand, t_nor, t_xnor):
+            assert refines(op(ap, bp), op(a, b))
+
+
+@given(st.lists(ternary, max_size=6))
+def test_nary_ops_fold_their_binary_versions(values):
+    import functools
+
+    assert t_and_all(values) is functools.reduce(t_and, values, ONE)
+    assert t_or_all(values) is functools.reduce(t_or, values, ZERO)
+    assert t_xor_all(values) is functools.reduce(t_xor, values, ZERO)
+
+
+# ---------------------------------------------------------------------------
+# Information order, meet.
+# ---------------------------------------------------------------------------
+
+
+def test_refines_is_a_partial_order_with_bottom_x():
+    for v in ALL:
+        assert refines(v, X)  # X is bottom
+        assert refines(v, v)  # reflexive
+    assert not refines(X, ZERO)
+    assert not refines(ZERO, ONE)
+
+
+@given(a=ternary, b=ternary)
+def test_meet_is_glb(a, b):
+    m = meet(a, b)
+    assert refines(a, m) and refines(b, m)
+    # Greatest: any common lower bound is refined-by m... in a flat
+    # domain the only candidates are m itself and X.
+    if a is b:
+        assert m is a
+    else:
+        assert m is X
+
+
+# ---------------------------------------------------------------------------
+# Sequences and vectors.
+# ---------------------------------------------------------------------------
+
+
+def test_parse_ternary_string_paper_notation():
+    assert parse_ternary_string("0·1·1·1") == (ZERO, ONE, ONE, ONE)
+    assert parse_ternary_string("0 X 1") == (ZERO, X, ONE)
+    assert parse_ternary_string("0.0.1") == (ZERO, ZERO, ONE)
+
+
+def test_format_roundtrip():
+    seq = (ZERO, X, ONE, ONE)
+    assert parse_ternary_string(format_ternary_sequence(seq)) == seq
+    assert format_ternary(X) == "X"
+
+
+@given(st.lists(ternary, min_size=1, max_size=8))
+def test_format_parse_roundtrip_property(seq):
+    assert parse_ternary_string(format_ternary_sequence(seq)) == tuple(seq)
+
+
+def test_all_ternary_vectors_counts():
+    assert len(list(all_ternary_vectors(0))) == 1
+    assert len(list(all_ternary_vectors(3))) == 27
+    with pytest.raises(ValueError):
+        list(all_ternary_vectors(-1))
+
+
+def test_definite_completions_expand_x_positions():
+    comps = set(definite_completions((X, ONE)))
+    assert comps == {(ZERO, ONE), (ONE, ONE)}
+    assert list(definite_completions(())) == [()]
+
+
+@given(st.lists(ternary, max_size=6))
+def test_definite_completions_all_refine_original(vec):
+    comps = list(definite_completions(vec))
+    assert len(comps) == 2 ** sum(1 for v in vec if v is X)
+    for comp in comps:
+        assert vector_refines(comp, vec)
+        assert all(is_definite(v) for v in comp)
+
+
+def test_vector_refines_length_mismatch():
+    with pytest.raises(ValueError):
+        vector_refines((ZERO,), (ZERO, ONE))

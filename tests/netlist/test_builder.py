@@ -1,0 +1,97 @@
+"""Tests for the fluent circuit builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.functions import junction
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.validate import ValidationError
+
+
+def test_quickstart_shape():
+    b = CircuitBuilder("demo")
+    i = b.input("I")
+    q = b.net("Q")
+    n = b.gate("NOT", q, name="inv")
+    a = b.gate("AND", i, n, name="and1")
+    b.latch(a, q, name="L")
+    b.output(n)
+    c = b.build()
+    assert c.inputs == ("I",)
+    assert c.latch_names == ("L",)
+    assert c.cell("and1").inputs == ("I", c.cell("inv").outputs[0])
+
+
+def test_gate_arity_follows_argument_count():
+    b = CircuitBuilder()
+    x, y, z = b.input(), b.input(), b.input()
+    out = b.gate("AND", x, y, z)
+    b.output(out)
+    c = b.build()
+    (cell,) = c.cells
+    assert cell.function.name == "AND3"
+
+
+def test_auto_names_are_deterministic():
+    def build():
+        b = CircuitBuilder()
+        i = b.input()
+        o = b.gate("NOT", i)
+        b.output(o)
+        return b.build()
+
+    assert build().structurally_equal(build())
+
+
+def test_fanout_helper_creates_junction():
+    b = CircuitBuilder()
+    i = b.input("i")
+    x, y, z = b.fanout(i, 3)
+    b.output(b.gate("AND", x, y))
+    b.output(b.gate("NOT", z))
+    c = b.build()
+    assert len(c.junction_cells()) == 1
+    assert c.junction_cells()[0].function is junction(3)
+
+
+def test_multi_output_cell_instantiation():
+    b = CircuitBuilder()
+    i = b.input("i")
+    outs = b.cell(junction(2), [i], outs=("a", "b"))
+    assert outs == ("a", "b")
+    b.output("a")
+    b.output("b")
+    b.build()
+
+
+def test_const_helper():
+    b = CircuitBuilder()
+    one = b.const(1)
+    zero = b.const(0)
+    b.output(b.gate("OR", one, zero))
+    c = b.build()
+    kinds = sorted(cell.function.name for cell in c.cells)
+    assert kinds == ["CONST0", "CONST1", "OR"]
+
+
+def test_build_validates_by_default():
+    b = CircuitBuilder()
+    b.input("i")
+    b.gate("NOT", "ghost")  # reads an undriven net
+    with pytest.raises(ValidationError):
+        b.build()
+    # but the unchecked escape hatch works
+    assert b.build(check=False) is b.circuit
+
+
+def test_latch_with_reserved_feedback_net():
+    b = CircuitBuilder()
+    i = b.input("i")
+    q = b.net("q")
+    d = b.gate("XOR", i, q)
+    out_net = b.latch(d, q, name="ff")
+    assert out_net == "q"
+    b.output(b.gate("NOT", q))
+    c = b.build()
+    assert c.latch("ff").data_out == "q"

@@ -1,0 +1,227 @@
+"""Tests for the core circuit data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.functions import AND, NOT, OR, junction
+from repro.netlist.circuit import Cell, Circuit, CircuitError, Latch
+
+
+def small_circuit():
+    c = Circuit("small")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_cell("g1", AND, ("a", "b"), ("n1",))
+    c.add_latch("l1", "n1", "q1")
+    c.add_cell("g2", NOT, ("q1",), ("n2",))
+    c.add_output("n2")
+    return c
+
+
+# ---------------------------------------------------------------------------
+# Construction and lookups.
+# ---------------------------------------------------------------------------
+
+
+def test_basic_construction_and_stats():
+    c = small_circuit()
+    assert c.inputs == ("a", "b")
+    assert c.outputs == ("n2",)
+    assert c.cell_names == ("g1", "g2")
+    assert c.latch_names == ("l1",)
+    assert c.num_cells == 2 and c.num_latches == 1
+    stats = c.stats()
+    assert stats == {
+        "inputs": 2,
+        "outputs": 1,
+        "cells": 2,
+        "latches": 1,
+        "nets": 5,
+        "junctions": 0,
+    }
+
+
+def test_drivers_and_readers():
+    c = small_circuit()
+    assert c.driver_of("a") == ("input", "a")
+    assert c.driver_of("n1") == ("cell", "g1", 0)
+    assert c.driver_of("q1") == ("latch", "l1")
+    assert c.readers_of("n1") == (("latch", "l1"),)
+    assert c.readers_of("q1") == (("cell", "g2", 0),)
+    assert c.readers_of("n2") == (("output", 0),)
+    assert c.fanout_count("a") == 1
+
+
+def test_lookup_errors():
+    c = small_circuit()
+    with pytest.raises(CircuitError):
+        c.cell("nope")
+    with pytest.raises(CircuitError):
+        c.latch("nope")
+    with pytest.raises(CircuitError):
+        c.driver_of("ghost")
+
+
+def test_duplicate_names_rejected():
+    c = small_circuit()
+    with pytest.raises(CircuitError):
+        c.add_cell("g1", NOT, ("a",), ("zz",))
+    with pytest.raises(CircuitError):
+        c.add_latch("g2", "a", "zz")  # clashes with a cell name
+    with pytest.raises(CircuitError):
+        c.add_input("a")  # net already driven
+
+
+def test_double_driven_net_rejected():
+    c = small_circuit()
+    with pytest.raises(CircuitError):
+        c.add_cell("g3", NOT, ("a",), ("n1",))
+
+
+def test_cell_pin_arity_checked():
+    c = Circuit()
+    c.add_input("a")
+    with pytest.raises(CircuitError):
+        c.add_cell("g", AND, ("a",), ("n",))
+    with pytest.raises(CircuitError):
+        c.add_cell("g", NOT, ("a",), ("n", "m"))
+
+
+def test_cell_may_not_drive_same_net_twice():
+    with pytest.raises(CircuitError):
+        Cell("j", junction(2), ("a",), ("n", "n"))
+
+
+# ---------------------------------------------------------------------------
+# Removal and replacement.
+# ---------------------------------------------------------------------------
+
+
+def test_remove_cell_releases_nets():
+    c = small_circuit()
+    c.remove_cell("g2")
+    assert not c.has_net("n2")
+    assert not c.has_cell("g2")
+    c.add_cell("g2", NOT, ("q1",), ("n2",))  # can be re-added
+    assert c.has_net("n2")
+
+
+def test_remove_latch_releases_output_net():
+    c = small_circuit()
+    c.remove_latch("l1")
+    assert not c.has_net("q1")
+
+
+def test_replace_cell_swaps_pins():
+    c = small_circuit()
+    c.replace_cell("g1", Cell("g1", OR, ("a", "b"), ("n1",)))
+    assert c.cell("g1").function is OR
+
+
+def test_replace_cell_must_keep_name():
+    c = small_circuit()
+    with pytest.raises(CircuitError):
+        c.replace_cell("g1", Cell("other", AND, ("a", "b"), ("n1",)))
+
+
+def test_fresh_names_avoid_collisions():
+    c = small_circuit()
+    assert c.fresh_net("zzz") == "zzz"
+    assert c.fresh_net("n1") != "n1"
+    assert not c.has_net(c.fresh_net("n1"))
+    assert c.fresh_name("g1") != "g1"
+    assert c.fresh_name("brand_new") == "brand_new"
+
+
+# ---------------------------------------------------------------------------
+# Topological order.
+# ---------------------------------------------------------------------------
+
+
+def test_topological_cells_respects_dependencies():
+    c = Circuit()
+    c.add_input("a")
+    c.add_cell("x", NOT, ("a",), ("n1",))
+    c.add_cell("y", NOT, ("n1",), ("n2",))
+    c.add_cell("z", NOT, ("n2",), ("n3",))
+    c.add_output("n3")
+    order = c.topological_cells()
+    assert order.index("x") < order.index("y") < order.index("z")
+
+
+def test_latch_breaks_dependency():
+    c = Circuit()
+    c.add_input("a")
+    q = "q"
+    c.add_cell("g", AND, ("a", q), ("n",))
+    c.add_latch("l", "n", q)
+    c.add_output("n")
+    # No combinational cycle: the latch breaks it.
+    assert c.topological_cells() == ("g",)
+
+
+def test_combinational_cycle_detected():
+    c = Circuit()
+    c.add_input("a")
+    c.add_cell("g1", AND, ("a", "n2"), ("n1",))
+    c.add_cell("g2", NOT, ("n1",), ("n2",))
+    c.add_output("n1")
+    with pytest.raises(CircuitError, match="combinational cycle"):
+        c.topological_cells()
+
+
+def test_topo_cache_invalidated_on_mutation():
+    c = small_circuit()
+    first = c.topological_cells()
+    c.add_cell("g3", NOT, ("n2",), ("n3",))
+    second = c.topological_cells()
+    assert "g3" in second and "g3" not in first
+
+
+# ---------------------------------------------------------------------------
+# Copy and equality.
+# ---------------------------------------------------------------------------
+
+
+def test_copy_is_independent():
+    c = small_circuit()
+    d = c.copy()
+    assert d.structurally_equal(c)
+    d.add_cell("extra", NOT, ("n2",), ("n9",))
+    assert not d.structurally_equal(c)
+    assert not c.has_cell("extra")
+
+
+def test_normal_form_detection():
+    c = small_circuit()
+    assert c.is_normal_form()  # every net read exactly once here
+    c.add_cell("g3", NOT, ("a",), ("n4",))  # now "a" is read twice
+    c.add_output("n4")
+    assert not c.is_normal_form()
+
+
+def test_pretty_and_repr_mention_elements():
+    c = small_circuit()
+    text = c.pretty()
+    assert "g1" in text and "l1" in text and "small" in text
+    assert "1 latches" in repr(c)
+
+
+def test_source_nets_are_inputs_plus_latch_outputs():
+    c = small_circuit()
+    assert set(c.source_nets()) == {"a", "b", "q1"}
+
+
+def test_replace_cell_rolls_back_on_conflict():
+    """A failed replacement leaves the circuit exactly as before."""
+    c = small_circuit()
+    snapshot = c.copy()
+    with pytest.raises(CircuitError):
+        # "a" is already driven by the primary input -> claim conflict.
+        c.replace_cell("g1", Cell("g1", AND, ("a", "b"), ("a",)))
+    assert c.structurally_equal(snapshot)
+    assert c.driver_of("n1") == ("cell", "g1", 0)
+    # The circuit is still fully usable.
+    c.replace_cell("g1", Cell("g1", OR, ("a", "b"), ("n1",)))
+    assert c.cell("g1").function is OR

@@ -1,0 +1,103 @@
+"""Tests for the ISCAS-89 .bench reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.generators import random_sequential_circuit
+from repro.netlist.io_bench import BenchParseError, parse_bench, write_bench
+from repro.netlist.transform import normalize_fanout
+from repro.stg.equivalence import machines_equivalent
+from repro.stg.explicit import extract_stg
+
+SIMPLE = """
+# a tiny machine
+INPUT(x)
+OUTPUT(z)
+q = DFF(d)
+nx = NOT(x)
+d = AND(nx, q)
+z = OR(x, q)
+"""
+
+
+def test_parse_simple():
+    c = parse_bench(SIMPLE, name="simple")
+    assert c.inputs == ("x",)
+    assert c.outputs == ("z",)
+    assert c.latch_names == ("dff_q",)
+    assert c.latch("dff_q").data_in == "d"
+    assert {cell.function.name for cell in c.cells} == {"NOT", "AND", "OR"}
+
+
+def test_parse_is_order_insensitive():
+    shuffled = "\n".join(reversed([l for l in SIMPLE.splitlines() if l.strip()]))
+    a = parse_bench(SIMPLE)
+    b = parse_bench(shuffled)
+    assert machines_equivalent(extract_stg(a), extract_stg(b))
+
+
+def test_comments_and_blank_lines_ignored():
+    c = parse_bench("# hi\n\nINPUT(a)\nOUTPUT(b)\nb = NOT(a)  # inline\n")
+    assert c.num_cells == 1
+
+
+def test_buff_and_inv_aliases():
+    c = parse_bench("INPUT(a)\nOUTPUT(b)\nOUTPUT(d)\nb = BUFF(a)\nd = INV(a)\n")
+    kinds = sorted(cell.function.name for cell in c.cells)
+    assert kinds == ["BUF", "NOT"]
+
+
+def test_undefined_signal_rejected():
+    with pytest.raises(BenchParseError, match="never defined"):
+        parse_bench("INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n")
+
+
+def test_undefined_output_rejected():
+    with pytest.raises(BenchParseError, match="never defined"):
+        parse_bench("INPUT(a)\nOUTPUT(z)\nq = NOT(a)\n")
+
+
+def test_bad_arity_rejected():
+    with pytest.raises(BenchParseError, match="one argument"):
+        parse_bench("INPUT(a)\nOUTPUT(z)\nz = NOT(a, a)\n")
+    with pytest.raises(BenchParseError, match="DFF"):
+        parse_bench("INPUT(a)\nOUTPUT(z)\nz = DFF(a, a)\n")
+
+
+def test_unknown_keyword_rejected():
+    with pytest.raises(BenchParseError, match="unknown gate"):
+        parse_bench("INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n")
+
+
+def test_garbage_line_rejected():
+    with pytest.raises(BenchParseError, match="unrecognised"):
+        parse_bench("INPUT(a)\nwhat is this\n")
+
+
+def test_write_then_parse_roundtrips_behaviour():
+    original = parse_bench(SIMPLE, name="rt")
+    text = write_bench(original)
+    back = parse_bench(text, name="rt2")
+    assert machines_equivalent(extract_stg(original), extract_stg(back))
+
+
+def test_write_collapses_junctions():
+    c = normalize_fanout(parse_bench(SIMPLE))
+    assert c.junction_cells()
+    text = write_bench(c)
+    assert "JUNC" not in text
+    back = parse_bench(text)
+    assert machines_equivalent(extract_stg(c), extract_stg(back))
+
+
+def test_roundtrip_generated_circuits():
+    for seed in (0, 7):
+        c = random_sequential_circuit(seed)
+        back = parse_bench(write_bench(c), name="back")
+        assert machines_equivalent(extract_stg(c), extract_stg(back))
+
+
+def test_header_comment():
+    c = parse_bench(SIMPLE, name="named")
+    assert write_bench(c, header="custom header").startswith("# custom header")

@@ -1,0 +1,151 @@
+"""Tests for fanout normalisation, junction collapsing and latch lowering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.generators import random_sequential_circuit
+from repro.logic.ternary import ONE, ZERO
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit, CircuitError
+from repro.netlist.transform import (
+    collapse_junctions,
+    enable_latch,
+    normalize_fanout,
+    synchronous_reset_latch,
+    synchronous_set_latch,
+)
+from repro.netlist.validate import check_normal_form, validate
+from repro.sim.binary import BinarySimulator, all_power_up_states
+from repro.stg.equivalence import machines_equivalent
+from repro.stg.explicit import extract_stg
+
+
+def fanouty_circuit():
+    b = CircuitBuilder("fanouty")
+    i = b.input("i")
+    n = b.gate("NOT", i, name="inv")
+    a = b.gate("AND", n, n, name="and1")  # n read twice
+    o = b.gate("OR", a, i, name="or1")  # i read twice (gate + NOT)
+    b.output(o)
+    return b.build()
+
+
+def test_normalize_fanout_gives_normal_form():
+    c = fanouty_circuit()
+    assert not c.is_normal_form()
+    nf = normalize_fanout(c)
+    assert nf.is_normal_form()
+    assert check_normal_form(nf) == []
+    validate(nf, require_normal_form=True)
+    assert len(nf.junction_cells()) == 2  # one for i, one for n
+
+
+def test_normalize_is_identity_on_normal_form():
+    c = normalize_fanout(fanouty_circuit())
+    again = normalize_fanout(c)
+    assert again.structurally_equal(c)
+
+
+def test_normalize_preserves_behaviour():
+    c = fanouty_circuit()
+    nf = normalize_fanout(c)
+    assert machines_equivalent(extract_stg(c), extract_stg(nf))
+
+
+def test_normalize_rejects_dangling_nets():
+    c = Circuit()
+    c.add_input("a")
+    from repro.logic.functions import NOT
+
+    c.add_cell("g", NOT, ("a",), ("unread",))
+    with pytest.raises(CircuitError, match="no readers"):
+        normalize_fanout(c)
+
+
+def test_collapse_inverts_normalize():
+    c = fanouty_circuit()
+    nf = normalize_fanout(c)
+    back = collapse_junctions(nf)
+    assert back.structurally_equal(c)
+
+
+def test_collapse_handles_junction_chains():
+    b = CircuitBuilder()
+    i = b.input("i")
+    x, y = b.fanout(i, 2)
+    p, q = b.fanout(x, 2)
+    b.output(b.gate("AND", p, y))
+    b.output(b.gate("NOT", q))
+    c = b.build()
+    flat = collapse_junctions(c)
+    assert not flat.junction_cells()
+    # every gate input resolves transitively to the primary input
+    for cell in flat.cells:
+        assert all(net == "i" for net in cell.inputs)
+
+
+def test_roundtrip_on_generated_circuits():
+    for seed in range(5):
+        c = random_sequential_circuit(seed)
+        back = normalize_fanout(collapse_junctions(c))
+        assert machines_equivalent(extract_stg(c), extract_stg(back))
+
+
+# ---------------------------------------------------------------------------
+# Synchronous-control latch lowering (Section 1 models).
+# ---------------------------------------------------------------------------
+
+
+def _step(circuit, state, inputs):
+    return BinarySimulator(circuit).step(state, inputs)
+
+
+def test_synchronous_reset_latch_model():
+    b = CircuitBuilder("rlatch")
+    d = b.input("d")
+    r = b.input("r")
+    q = synchronous_reset_latch(b, d, r, name="ff")
+    b.output(q)
+    c = b.build()
+    # Reset asserted: next state 0 regardless of d and current state.
+    for state in all_power_up_states(c):
+        _, nxt = _step(c, state, (True, True))
+        assert nxt == (False,)
+        _, nxt = _step(c, state, (False, True))
+        assert nxt == (False,)
+    # Reset deasserted: latch samples d.
+    _, nxt = _step(c, (False,), (True, False))
+    assert nxt == (True,)
+
+
+def test_synchronous_set_latch_model():
+    b = CircuitBuilder("slatch")
+    d = b.input("d")
+    s = b.input("s")
+    q = synchronous_set_latch(b, d, s, name="ff")
+    b.output(q)
+    c = b.build()
+    for state in all_power_up_states(c):
+        _, nxt = _step(c, state, (False, True))
+        assert nxt == (True,)
+    _, nxt = _step(c, (True,), (False, False))
+    assert nxt == (False,)
+
+
+def test_enable_latch_holds_when_disabled():
+    b = CircuitBuilder("elatch")
+    d = b.input("d")
+    en = b.input("en")
+    q = enable_latch(b, d, en, name="ff")
+    b.output(q)
+    c = b.build()
+    # enable=0: hold.
+    for state in all_power_up_states(c):
+        _, nxt = _step(c, state, (True, False))
+        assert nxt == state
+    # enable=1: load d.
+    _, nxt = _step(c, (False,), (True, True))
+    assert nxt == (True,)
+    _, nxt = _step(c, (True,), (False, True))
+    assert nxt == (False,)

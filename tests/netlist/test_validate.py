@@ -1,0 +1,83 @@
+"""Tests for structural validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.functions import AND, NOT
+from repro.netlist.circuit import Circuit
+from repro.netlist.validate import ValidationError, check_normal_form, validate
+
+
+def test_valid_circuit_passes():
+    c = Circuit()
+    c.add_input("a")
+    c.add_cell("g", NOT, ("a",), ("n",))
+    c.add_output("n")
+    validate(c)
+    validate(c, require_normal_form=True)
+
+
+def test_dangling_cell_input_reported():
+    c = Circuit()
+    c.add_input("a")
+    c.add_cell("g", AND, ("a", "ghost"), ("n",))
+    c.add_output("n")
+    with pytest.raises(ValidationError, match="ghost"):
+        validate(c)
+
+
+def test_dangling_latch_input_reported():
+    c = Circuit()
+    c.add_input("a")
+    c.add_latch("l", "ghost", "q")
+    c.add_output("q")
+    c.add_output("a")
+    with pytest.raises(ValidationError, match="latch l"):
+        validate(c)
+
+
+def test_dangling_output_reported():
+    c = Circuit()
+    c.add_input("a")
+    c.add_cell("g", NOT, ("a",), ("n",))
+    c.add_output("nope")
+    with pytest.raises(ValidationError, match="primary output"):
+        validate(c)
+
+
+def test_all_problems_collected_at_once():
+    c = Circuit()
+    c.add_input("a")
+    c.add_cell("g", AND, ("ghost1", "ghost2"), ("n",))
+    c.add_output("missing")
+    try:
+        validate(c)
+    except ValidationError as exc:
+        assert len(exc.problems) == 3
+    else:  # pragma: no cover
+        pytest.fail("expected ValidationError")
+
+
+def test_combinational_cycle_reported():
+    c = Circuit()
+    c.add_input("a")
+    c.add_cell("g1", AND, ("a", "n2"), ("n1",))
+    c.add_cell("g2", NOT, ("n1",), ("n2",))
+    c.add_output("n1")
+    with pytest.raises(ValidationError, match="cycle"):
+        validate(c)
+
+
+def test_check_normal_form_flags_unread_and_shared_nets():
+    c = Circuit()
+    c.add_input("a")
+    c.add_cell("g1", NOT, ("a",), ("n1",))
+    c.add_cell("g2", NOT, ("a",), ("n2",))  # "a" read twice
+    c.add_output("n1")  # n2 unread
+    problems = check_normal_form(c)
+    assert any("no reader" in p for p in problems)
+    assert any("2 readers" in p for p in problems)
+    with pytest.raises(ValidationError):
+        validate(c, require_normal_form=True)
+    validate(c)  # fine without the normal-form requirement

@@ -1,0 +1,158 @@
+"""Tests for CLS-invariant redundancy removal (Section 6 program)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.paper_circuits import figure1_design_d
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.transform import normalize_fanout, rewire_readers, sweep_dangling
+from repro.netlist.validate import validate
+from repro.optimize.redundancy import (
+    is_cls_redundant,
+    remove_cls_redundancies,
+    substitute_constant,
+)
+from repro.stg.equivalence import machines_equivalent
+from repro.stg.explicit import extract_stg
+from repro.stg.ternary_equiv import cls_equivalent_exhaustive
+
+
+def absorbing_circuit():
+    """out = OR(x, AND(x, y)): the AND is classically redundant
+    (absorption), and also CLS-redundant (replacing its output with 0
+    leaves OR(x, 0) = x, and Kleene absorption holds)."""
+    b = CircuitBuilder("absorb")
+    x, y = b.input("x"), b.input("y")
+    x1, x2 = b.fanout(x, 2, name="fx")
+    inner = b.gate("AND", x2, y, name="inner")
+    out = b.gate("OR", x1, inner, name="outer")
+    q = b.latch(out, name="ff")
+    b.output(b.gate("BUF", q, name="ob"))
+    return b.build()
+
+
+def complementary_x_circuit_clean():
+    """The Section 5 shape: glitch = AND(q, NOT q) is 0 in reality but
+    X under the CLS, so constant-0 substitution is NOT CLS-invariant."""
+    b = CircuitBuilder("complx")
+    i = b.input("i")
+    i1, i2 = b.fanout(i, 2, name="fi")
+    q = b.net("q")
+    q1, q2, q3 = b.fanout(q, 3, name="fq")
+    n = b.gate("NOT", q2, name="inv")
+    glitch = b.gate("AND", q1, n, name="gl")
+    b.latch(b.gate("AND", i1, q3, name="gate"), q, name="ff")
+    b.output(b.gate("OR", glitch, i2, name="o"))
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Building blocks.
+# ---------------------------------------------------------------------------
+
+
+def test_rewire_readers():
+    c = absorbing_circuit()
+    inner_net = c.cell("inner").outputs[0]
+    x1_net = c.cell("outer").inputs[0]
+    rewired = rewire_readers(c, inner_net, x1_net)
+    # "outer" now reads x1 twice; inner dangles.
+    assert rewired.cell("outer").inputs.count(x1_net) == 2
+    assert rewired.fanout_count(inner_net) == 0
+
+
+def test_rewire_readers_validates_nets():
+    c = absorbing_circuit()
+    with pytest.raises(Exception):
+        rewire_readers(c, "ghost", c.inputs[0])
+    with pytest.raises(Exception):
+        rewire_readers(c, c.inputs[0], "ghost")
+
+
+def test_sweep_dangling_removes_cones():
+    c = absorbing_circuit()
+    inner_net = c.cell("inner").outputs[0]
+    x1_net = c.cell("outer").inputs[0]
+    swept = sweep_dangling(rewire_readers(c, inner_net, x1_net))
+    assert not swept.has_cell("inner")
+    # y's junction... y itself is a PI and stays, even unread.
+    assert "y" in swept.inputs
+    validate(swept)
+
+
+def test_sweep_dangling_removes_latch_chains():
+    b = CircuitBuilder()
+    i = b.input("i")
+    q1 = b.latch(i, name="l1")
+    q2 = b.latch(q1, name="l2")  # dead chain
+    o = b.gate("NOT", i, name="g")
+    b.output(o)
+    c = b.circuit
+    swept = sweep_dangling(c)
+    assert swept.num_latches == 0
+    assert swept.has_cell("g")
+
+
+def test_substitute_constant_shrinks_absorbing_circuit():
+    c = absorbing_circuit()
+    inner_net = c.cell("inner").outputs[0]
+    candidate = substitute_constant(c, inner_net, False)
+    validate(candidate)
+    from repro.optimize.redundancy import logic_size
+
+    assert logic_size(candidate) < logic_size(c)
+    assert not candidate.has_cell("inner")
+    # Binary behaviour unchanged (absorption).
+    assert machines_equivalent(extract_stg(c), extract_stg(candidate))
+
+
+# ---------------------------------------------------------------------------
+# The redundancy criterion.
+# ---------------------------------------------------------------------------
+
+
+def test_absorbing_and_is_cls_redundant():
+    c = absorbing_circuit()
+    inner_net = c.cell("inner").outputs[0]
+    assert is_cls_redundant(c, inner_net, False)
+    assert not is_cls_redundant(c, inner_net, True)  # OR(x, 1) = 1 != x
+
+
+def test_complementary_x_net_is_not_cls_redundant():
+    """The paper's Section 5 information-loss example, as an optimizer
+    guard: AND(q, NOT q) is constant 0 in reality, yet replacing it by
+    0 changes CLS behaviour, so it must be REJECTED."""
+    c = complementary_x_circuit_clean()
+    glitch_net = c.cell("gl").outputs[0]
+    assert not is_cls_redundant(c, glitch_net, False)
+    # ... even though the substitution is sound for binary semantics:
+    candidate = substitute_constant(c, glitch_net, False)
+    assert machines_equivalent(extract_stg(c), extract_stg(candidate))
+
+
+def test_remove_cls_redundancies_on_absorbing_circuit():
+    c = absorbing_circuit()
+    report = remove_cls_redundancies(c)
+    assert report.substitutions  # something was removed
+    assert report.cells_removed > 0
+    assert report.latches_removed >= 0
+    validate(report.circuit)
+    assert cls_equivalent_exhaustive(c, report.circuit)
+    assert "applied" in report.summary()
+
+
+def test_remove_cls_redundancies_keeps_the_glitch():
+    c = complementary_x_circuit_clean()
+    report = remove_cls_redundancies(c)
+    # The glitch AND must survive (its removal would change the CLS).
+    assert report.circuit.has_cell("gl")
+    assert cls_equivalent_exhaustive(c, report.circuit)
+
+
+def test_remove_cls_redundancies_idempotent_on_paper_d():
+    d = figure1_design_d()
+    report = remove_cls_redundancies(d)
+    assert cls_equivalent_exhaustive(d, report.circuit)
+    again = remove_cls_redundancies(report.circuit)
+    assert not again.substitutions

@@ -1,0 +1,122 @@
+"""Tests for lag realisation: direct reconstruction and move decomposition."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generators import correlator, random_sequential_circuit
+from repro.bench.paper_circuits import figure1_design_c, figure1_design_d
+from repro.netlist.validate import validate
+from repro.retime.apply import lag_to_moves, realize
+from repro.retime.graph import build_retiming_graph
+from repro.retime.leiserson_saxe import min_period_retiming
+from repro.retime.min_area import min_area_retiming
+from repro.retime.moves import MoveError
+from repro.retime.validity import cls_equivalent
+from repro.stg.equivalence import machines_equivalent
+from repro.stg.explicit import extract_stg
+
+
+def test_realize_identity_lag_preserves_structure_weights():
+    d = figure1_design_d()
+    g = build_retiming_graph(d)
+    same = realize(d, {v: 0 for v in g.vertices})
+    validate(same)
+    g2 = build_retiming_graph(same)
+    assert g2.num_registers == g.num_registers
+    assert machines_equivalent(extract_stg(d), extract_stg(same))
+
+
+def test_realize_hazardous_junction_move_gives_design_c():
+    d = figure1_design_d()
+    g = build_retiming_graph(d)
+    lag = {v: 0 for v in g.vertices}
+    lag["fanQ"] = -1
+    c = realize(d, lag)
+    validate(c)
+    assert c.num_latches == 2
+    assert machines_equivalent(extract_stg(c), extract_stg(figure1_design_c()))
+
+
+def test_realize_rejects_illegal_lag():
+    d = figure1_design_d()
+    g = build_retiming_graph(d)
+    lag = {v: 0 for v in g.vertices}
+    lag["and2"] = 1
+    with pytest.raises(ValueError):
+        realize(d, lag)
+
+
+def test_lag_to_moves_matches_realize_behaviour():
+    c = correlator(6)
+    g = build_retiming_graph(c)
+    result = min_period_retiming(g)
+    direct = realize(c, result.lag)
+    session = lag_to_moves(c, result.lag)
+    validate(direct)
+    validate(session.current, require_normal_form=True)
+    # Same register count and same CLS behaviour.
+    assert (
+        build_retiming_graph(direct).num_registers
+        == build_retiming_graph(session.current).num_registers
+    )
+    assert cls_equivalent(direct, session.current, count=6, length=10)
+
+
+def test_lag_to_moves_achieves_target_weights():
+    c = correlator(6)
+    g = build_retiming_graph(c)
+    result = min_period_retiming(g)
+    session = lag_to_moves(c, result.lag)
+    g_after = build_retiming_graph(session.current)
+    assert g_after.clock_period() == result.period
+
+
+def test_lag_to_moves_rejects_illegal_lag():
+    d = figure1_design_d()
+    with pytest.raises(MoveError, match="illegal"):
+        lag_to_moves(d, {"and2": 1})
+
+
+def test_lag_to_moves_counts_hazards_of_min_period_retiming():
+    """The correlator's min-period retiming really does cross fanout
+    junctions forward -- the paper's hazard occurs in the wild."""
+    c = correlator(8)
+    result = min_period_retiming(build_retiming_graph(c))
+    session = lag_to_moves(c, result.lag)
+    assert session.hazardous_move_count > 0
+    assert session.theorem45_k >= 1
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(0, 200))
+def test_realize_and_moves_agree_on_random_circuits(seed):
+    circuit = random_sequential_circuit(seed, num_gates=8, num_latches=3)
+    g = build_retiming_graph(circuit)
+    result = min_area_retiming(g)
+    direct = realize(circuit, result.lag)
+    session = lag_to_moves(circuit, result.lag)
+    validate(direct)
+    validate(session.current, require_normal_form=True)
+    assert machines_equivalent(extract_stg(direct), extract_stg(session.current))
+
+
+def test_realize_pure_backward_lag():
+    """Positive lags (backward moves) realise too."""
+    from repro.netlist.builder import CircuitBuilder
+
+    b = CircuitBuilder("bwd")
+    i = b.input("i")
+    n = b.gate("NOT", i, name="inv")
+    q = b.latch(n, name="l")
+    b.output(q)
+    circuit = b.build()
+    lag = {"inv": 1}
+    moved = realize(circuit, lag)
+    validate(moved)
+    # Latch moved before the inverter.
+    session = lag_to_moves(circuit, lag)
+    assert [str(m) for m in session.moves] == ["backward(inv)"]
+    assert machines_equivalent(extract_stg(moved), extract_stg(session.current))

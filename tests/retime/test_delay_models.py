@@ -1,0 +1,70 @@
+"""Tests for gate delay models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.generators import correlator
+from repro.bench.paper_circuits import figure1_design_d
+from repro.retime.delay_models import DELAY_MODELS, delay_model, family_of
+from repro.retime.graph import HOST, HOST_OUT, build_retiming_graph
+from repro.retime.leiserson_saxe import min_period_retiming
+
+
+def test_family_of():
+    assert family_of("AND3") == "AND"
+    assert family_of("JUNC2") == "JUNC"
+    assert family_of("MUX") == "MUX"
+    assert family_of("CONST0") == "CONST"
+
+
+def test_unit_model_matches_default():
+    from repro.retime.graph import default_delay
+
+    d = figure1_design_d()
+    unit = delay_model(d, "unit")
+    default = default_delay(d)
+    for cell in d.cells:
+        assert unit[cell.name] == default[cell.name]
+    assert unit[HOST] == 0 and unit[HOST_OUT] == 0
+
+
+def test_loaded_model_weights_gate_families():
+    d = figure1_design_d()
+    loaded = delay_model(d, "loaded")
+    assert loaded["inv1"] == 1  # NOT
+    assert loaded["and1"] == 3
+    assert loaded["or1"] == 3
+    assert loaded["fanQ"] == 0  # junction
+
+
+def test_instance_overrides():
+    d = figure1_design_d()
+    delays = delay_model(d, "unit", overrides={"and1": 7})
+    assert delays["and1"] == 7
+    assert delays["and2"] == 1
+    with pytest.raises(ValueError, match="unknown cell"):
+        delay_model(d, "unit", overrides={"nope": 1})
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ValueError, match="available"):
+        delay_model(figure1_design_d(), "quantum")
+
+
+def test_min_period_respects_the_model():
+    """The achievable period scales with the delay model, and the
+    optimiser keeps working under either."""
+    circuit = correlator(8)
+    unit_graph = build_retiming_graph(circuit, delays=delay_model(circuit, "unit"))
+    loaded_graph = build_retiming_graph(circuit, delays=delay_model(circuit, "loaded"))
+    unit = min_period_retiming(unit_graph)
+    loaded = min_period_retiming(loaded_graph)
+    assert unit.period < loaded.period  # heavier gates, longer clock
+    assert loaded.period <= loaded.original_period
+    assert loaded_graph.is_legal_lag(loaded.lag)
+
+
+def test_all_models_cover_wildcards():
+    for name, table in DELAY_MODELS.items():
+        assert "*" in table, name

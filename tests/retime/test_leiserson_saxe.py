@@ -1,0 +1,155 @@
+"""Tests for W/D matrices, FEAS and min-period retiming."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generators import correlator, pipeline_circuit, random_sequential_circuit
+from repro.bench.iscas import load, names
+from repro.retime.graph import HOST, HOST_OUT, RetimingEdge, RetimingGraph, build_retiming_graph
+from repro.retime.leiserson_saxe import compute_wd, feas, min_period_retiming
+
+
+def simple_graph():
+    """host -> a -> b -> host' with one register between a and b."""
+    return RetimingGraph(
+        vertices=("a", "b"),
+        edges=(
+            RetimingEdge(HOST, "a", 0),
+            RetimingEdge("a", "b", 1),
+            RetimingEdge("b", HOST_OUT, 0),
+        ),
+        delays={"a": 3, "b": 2, HOST: 0, HOST_OUT: 0},
+    )
+
+
+# ---------------------------------------------------------------------------
+# W / D matrices.
+# ---------------------------------------------------------------------------
+
+
+def test_wd_on_simple_graph():
+    g = simple_graph()
+    wd = compute_wd(g)
+    assert wd.w[("a", "b")] == 1
+    assert wd.d[("a", "b")] == 5  # d(a) + d(b) along the min-weight path
+    assert wd.w[(HOST, "a")] == 0
+    assert wd.d[(HOST, "a")] == 3
+
+
+def test_wd_prefers_min_weight_then_max_delay():
+    # Two a->b paths: direct with 1 register, or through c with 0
+    # registers; W must pick 0 and D the delay through c.
+    g = RetimingGraph(
+        vertices=("a", "b", "c"),
+        edges=(
+            RetimingEdge(HOST, "a", 1),
+            RetimingEdge("a", "b", 1),
+            RetimingEdge("a", "c", 0),
+            RetimingEdge("c", "b", 0),
+            RetimingEdge("b", HOST_OUT, 1),
+        ),
+        delays={"a": 1, "b": 1, "c": 5, HOST: 0, HOST_OUT: 0},
+    )
+    wd = compute_wd(g)
+    assert wd.w[("a", "b")] == 0
+    assert wd.d[("a", "b")] == 7  # 1 + 5 + 1
+
+
+def test_candidate_periods_sorted_unique():
+    wd = compute_wd(simple_graph())
+    candidates = wd.candidate_periods()
+    assert list(candidates) == sorted(set(candidates))
+
+
+# ---------------------------------------------------------------------------
+# FEAS.
+# ---------------------------------------------------------------------------
+
+
+def test_feas_achieves_feasible_period():
+    g = simple_graph()
+    assert g.clock_period() == 3
+    lag = feas(g, 3)
+    assert lag is not None
+    assert g.is_legal_lag(lag)
+    assert g.clock_period(g.retimed_weights(lag)) <= 3
+
+
+def test_feas_rejects_impossible_period():
+    g = simple_graph()
+    # No retiming can beat max vertex delay.
+    assert feas(g, 2) is None
+
+
+def test_feas_detects_unbreakable_host_path():
+    """A combinational PI->PO path bounds the period from below."""
+    g = RetimingGraph(
+        vertices=("a",),
+        edges=(RetimingEdge(HOST, "a", 0), RetimingEdge("a", HOST_OUT, 0)),
+        delays={"a": 4, HOST: 0, HOST_OUT: 0},
+    )
+    assert feas(g, 3) is None
+    assert feas(g, 4) is not None
+
+
+def test_feas_normalises_host_lag_to_zero():
+    g = build_retiming_graph(correlator(8))
+    lag = feas(g, 4)
+    assert lag is not None
+    assert lag[HOST] == 0 and lag[HOST_OUT] == 0
+    assert g.is_legal_lag(lag)
+
+
+# ---------------------------------------------------------------------------
+# Min-period retiming.
+# ---------------------------------------------------------------------------
+
+
+def test_min_period_on_correlator_matches_ls_story():
+    """The flagship: retiming halves the correlator's clock period."""
+    g = build_retiming_graph(correlator(8))
+    result = min_period_retiming(g)
+    assert result.original_period == 7
+    assert result.period == 4
+    assert result.improved
+    assert g.is_legal_lag(result.lag)
+    assert g.clock_period(g.retimed_weights(result.lag)) == result.period
+
+
+def test_min_period_never_worse_than_original(iscas_circuit):
+    g = build_retiming_graph(iscas_circuit)
+    result = min_period_retiming(g)
+    assert result.period <= result.original_period
+    assert g.is_legal_lag(result.lag)
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 500))
+def test_min_period_result_is_achieved_and_legal(seed):
+    circuit = random_sequential_circuit(
+        seed, num_inputs=2, num_gates=10, num_latches=4
+    )
+    g = build_retiming_graph(circuit)
+    result = min_period_retiming(g)
+    weights = g.retimed_weights(result.lag)
+    assert g.clock_period(weights) <= result.period
+    assert result.period <= result.original_period
+
+
+def test_min_period_optimality_by_exhaustion():
+    """On a small graph, no feasible candidate below the reported
+    optimum exists (cross-check the binary search)."""
+    g = build_retiming_graph(correlator(5))
+    result = min_period_retiming(g)
+    for candidate in range(result.period):
+        assert feas(g, candidate) is None
+
+
+def test_pipeline_already_optimal():
+    """A fully pipelined datapath has period ~1 gate level already."""
+    g = build_retiming_graph(pipeline_circuit(3, 3, seed=1))
+    result = min_period_retiming(g)
+    assert result.period <= result.original_period <= 2

@@ -1,0 +1,86 @@
+"""Tests for minimum-area retiming."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generators import correlator, random_sequential_circuit, shift_register
+from repro.retime.graph import HOST, HOST_OUT, RetimingEdge, RetimingGraph, build_retiming_graph
+from repro.retime.leiserson_saxe import min_period_retiming
+from repro.retime.min_area import min_area_retiming
+
+
+def test_min_area_never_increases_registers():
+    g = build_retiming_graph(correlator(8))
+    result = min_area_retiming(g)
+    assert result.registers <= result.original_registers
+    assert g.is_legal_lag(result.lag)
+    assert g.registers_after(result.lag) == result.registers
+
+
+def test_min_area_respects_period_constraint():
+    g = build_retiming_graph(correlator(8))
+    minp = min_period_retiming(g)
+    result = min_area_retiming(g, period=minp.period)
+    assert result.period <= minp.period
+    assert g.is_legal_lag(result.lag)
+
+
+def test_min_area_trade_off_visible_on_correlator():
+    """Tighter periods need more registers (the classic area/speed
+    trade-off curve)."""
+    g = build_retiming_graph(correlator(8))
+    unconstrained = min_area_retiming(g)
+    at_min_period = min_area_retiming(g, period=min_period_retiming(g).period)
+    assert unconstrained.registers <= at_min_period.registers
+    assert at_min_period.registers > unconstrained.registers  # real trade-off
+
+
+def test_min_area_collapses_sharable_registers():
+    """Two parallel branches each carrying a latch can share one latch
+    before their junction... here modelled directly in graph form: a
+    diamond where both branch edges carry a register that can retire to
+    the single upstream edge."""
+    g = RetimingGraph(
+        vertices=("src", "l", "r", "snk"),
+        edges=(
+            RetimingEdge(HOST, "src", 0),
+            RetimingEdge("src", "l", 1),
+            RetimingEdge("src", "r", 1),
+            RetimingEdge("l", "snk", 0),
+            RetimingEdge("r", "snk", 0),
+            RetimingEdge("snk", HOST_OUT, 1),
+        ),
+        delays={"src": 1, "l": 1, "r": 1, "snk": 1, HOST: 0, HOST_OUT: 0},
+    )
+    result = min_area_retiming(g)
+    # Moving both branch registers upstream of src saves one register
+    # (multiple optimal lag assignments exist; only the count is unique).
+    assert result.registers == 3 - 1
+    assert result.lag["src"] >= 1
+    assert g.is_legal_lag(result.lag)
+
+
+def test_min_area_infeasible_period_raises():
+    g = build_retiming_graph(correlator(6))
+    with pytest.raises(ValueError):
+        min_area_retiming(g, period=1)  # below a single gate delay chain
+
+
+def test_shift_register_cannot_shrink():
+    g = build_retiming_graph(shift_register(5))
+    result = min_area_retiming(g)
+    assert result.registers == 5  # host-to-host weight is invariant
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(0, 300))
+def test_min_area_legal_and_no_worse(seed):
+    circuit = random_sequential_circuit(seed, num_gates=10, num_latches=4)
+    g = build_retiming_graph(circuit)
+    result = min_area_retiming(g)
+    assert g.is_legal_lag(result.lag)
+    assert result.registers <= result.original_registers
+    assert result.saved == result.original_registers - result.registers

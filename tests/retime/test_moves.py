@@ -1,0 +1,205 @@
+"""Tests for atomic retiming moves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.iscas import load
+from repro.bench.paper_circuits import figure1_design_c, figure1_design_d
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.validate import validate
+from repro.retime.moves import (
+    Direction,
+    MoveError,
+    MoveKind,
+    RetimingMove,
+    apply_move,
+    backward_move,
+    can_move_backward,
+    can_move_forward,
+    classify_move,
+    enabled_moves,
+    forward_move,
+)
+from repro.stg.equivalence import machines_equivalent
+from repro.stg.explicit import extract_stg
+
+
+def chain_circuit():
+    """in -> L -> NOT -> L -> out, with room for both move directions."""
+    b = CircuitBuilder("chain")
+    i = b.input("i")
+    q1 = b.latch(i, name="l1")
+    n = b.gate("NOT", q1, name="inv")
+    q2 = b.latch(n, name="l2")
+    b.output(q2)
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Enabling conditions.
+# ---------------------------------------------------------------------------
+
+
+def test_enabling_conditions_on_chain():
+    c = chain_circuit()
+    assert can_move_forward(c, "inv")  # latch on its only input
+    assert can_move_backward(c, "inv")  # latch on its only output
+
+
+def test_forward_requires_all_inputs_latched():
+    b = CircuitBuilder()
+    x, y = b.input("x"), b.input("y")
+    qx = b.latch(x, name="lx")
+    out = b.gate("AND", qx, y, name="g")  # y is not latched
+    b.output(out)
+    c = b.build()
+    assert not can_move_forward(c, "g")
+    with pytest.raises(MoveError, match="forward"):
+        forward_move(c, "g")
+
+
+def test_backward_requires_all_outputs_into_latches():
+    c = chain_circuit()
+    # The NOT's output goes to a latch, but a PO-read cell can't move.
+    b = CircuitBuilder()
+    i = b.input("i")
+    q = b.latch(i, name="l")
+    o = b.gate("NOT", q, name="inv")
+    b.output(o)
+    c2 = b.build()
+    assert not can_move_backward(c2, "inv")
+    with pytest.raises(MoveError, match="backward"):
+        backward_move(c2, "inv")
+
+
+# ---------------------------------------------------------------------------
+# Move mechanics.
+# ---------------------------------------------------------------------------
+
+
+def test_forward_move_mechanics():
+    c = chain_circuit()
+    moved = forward_move(c, "inv")
+    validate(moved, require_normal_form=True)
+    assert moved.num_latches == c.num_latches  # 1 in, 1 out
+    # The NOT now reads the PI directly.
+    assert moved.cell("inv").inputs == ("i",)
+    # Behaviour preserved as machines.
+    assert machines_equivalent(extract_stg(c), extract_stg(moved))
+
+
+def test_backward_move_mechanics():
+    c = chain_circuit()
+    moved = backward_move(c, "inv")
+    validate(moved, require_normal_form=True)
+    assert moved.num_latches == c.num_latches
+    # The NOT now drives the PO net directly... via no latch.
+    drv = moved.driver_of(moved.outputs[0])
+    assert drv[0] == "cell" and drv[1] == "inv"
+    assert machines_equivalent(extract_stg(c), extract_stg(moved))
+
+
+def test_moves_do_not_mutate_input_circuit():
+    c = chain_circuit()
+    snapshot = c.copy()
+    forward_move(c, "inv")
+    backward_move(c, "inv")
+    assert c.structurally_equal(snapshot)
+
+
+def test_forward_then_backward_roundtrips_behaviour():
+    c = chain_circuit()
+    there = forward_move(c, "inv")
+    back = backward_move(there, "inv")
+    assert machines_equivalent(extract_stg(c), extract_stg(back))
+    assert back.num_latches == c.num_latches
+
+
+def test_forward_across_junction_changes_latch_count():
+    """The Figure 1 move: 1 latch in, 2 latches out across JUNC2."""
+    d = figure1_design_d()
+    moved = forward_move(d, "fanQ")
+    validate(moved, require_normal_form=True)
+    assert d.num_latches == 1
+    assert moved.num_latches == 2
+    assert machines_equivalent(extract_stg(moved), extract_stg(figure1_design_c()))
+
+
+def test_backward_across_junction_merges_latches():
+    """The inverse move on C: 2 latches collapse back into 1."""
+    c = figure1_design_c()
+    moved = backward_move(c, "fanQ")
+    validate(moved, require_normal_form=True)
+    assert moved.num_latches == 1
+    assert machines_equivalent(extract_stg(moved), extract_stg(figure1_design_d()))
+
+
+def test_multi_input_forward_move():
+    b = CircuitBuilder()
+    x, y = b.input("x"), b.input("y")
+    qx, qy = b.latch(x, name="lx"), b.latch(y, name="ly")
+    out = b.gate("AND", qx, qy, name="g")
+    q = b.latch(out, name="lo")
+    b.output(q)
+    c = b.build()
+    moved = forward_move(c, "g")
+    validate(moved, require_normal_form=True)
+    assert moved.num_latches == 2  # 2 removed, 1 added, 1 untouched
+    assert machines_equivalent(extract_stg(c), extract_stg(moved))
+
+
+# ---------------------------------------------------------------------------
+# Classification (Section 4's four kinds).
+# ---------------------------------------------------------------------------
+
+
+def test_classification_of_all_four_kinds():
+    d = figure1_design_d()
+    fwd_junc = RetimingMove("fanQ", Direction.FORWARD)
+    assert classify_move(d, fwd_junc) is MoveKind.FORWARD_NON_JUSTIFIABLE
+    assert classify_move(d, fwd_junc).hazardous
+
+    c = figure1_design_c()
+    bwd_junc = RetimingMove("fanQ", Direction.BACKWARD)
+    assert classify_move(c, bwd_junc) is MoveKind.BACKWARD_NON_JUSTIFIABLE
+    assert not classify_move(c, bwd_junc).hazardous
+
+    chain = chain_circuit()
+    fwd = RetimingMove("inv", Direction.FORWARD)
+    bwd = RetimingMove("inv", Direction.BACKWARD)
+    assert classify_move(chain, fwd) is MoveKind.FORWARD_JUSTIFIABLE
+    assert classify_move(chain, bwd) is MoveKind.BACKWARD_JUSTIFIABLE
+    assert not classify_move(chain, fwd).hazardous
+
+
+def test_apply_move_dispatch():
+    chain = chain_circuit()
+    f = apply_move(chain, RetimingMove("inv", Direction.FORWARD))
+    assert f.cell("inv").inputs == ("i",)
+    bwd = apply_move(chain, RetimingMove("inv", Direction.BACKWARD))
+    assert bwd.driver_of(bwd.outputs[0])[1] == "inv"
+
+
+# ---------------------------------------------------------------------------
+# Enumeration.
+# ---------------------------------------------------------------------------
+
+
+def test_enabled_moves_on_figure1_d():
+    d = figure1_design_d()
+    moves = enabled_moves(d)
+    assert RetimingMove("fanQ", Direction.FORWARD) in moves
+    safe_only = enabled_moves(d, include_hazardous=False)
+    assert RetimingMove("fanQ", Direction.FORWARD) not in safe_only
+    assert all(not classify_move(d, m).hazardous for m in safe_only)
+
+
+def test_enabled_moves_stay_applicable(iscas_circuit):
+    for move in enabled_moves(iscas_circuit):
+        moved = apply_move(iscas_circuit, move)
+        validate(moved, require_normal_form=True)
+
+
+def test_move_str():
+    assert str(RetimingMove("g", Direction.FORWARD)) == "forward(g)"

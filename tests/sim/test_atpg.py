@@ -1,0 +1,101 @@
+"""Tests for the simulation-based sequential ATPG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.testability import delayed_tests
+from repro.bench.paper_circuits import figure1_design_d, figure3_fault
+from repro.bench.iscas import load
+from repro.retime.engine import RetimingSession
+from repro.sim.atpg import AtpgResult, generate_tests, grade_test_set
+from repro.sim.fault import StuckAtFault, detects_exact, enumerate_faults
+
+
+def test_generation_is_deterministic():
+    d = figure1_design_d()
+    a = generate_tests(d, seed=5, max_attempts=40)
+    b = generate_tests(d, seed=5, max_attempts=40)
+    assert a.tests == b.tests
+    assert a.detected == b.detected
+
+
+def test_generated_tests_really_detect():
+    d = figure1_design_d()
+    result = generate_tests(d, seed=1, max_attempts=60)
+    for fault, index in result.detected.items():
+        assert detects_exact(d, fault, result.tests[index]).detected, fault
+
+
+def test_coverage_accounting():
+    d = figure1_design_d()
+    result = generate_tests(d, seed=2, max_attempts=80)
+    assert 0.0 < result.coverage <= 1.0
+    assert len(result.detected) + len(result.undetected) == 2 * len(d.nets())
+    assert "faults detected" in result.summary()
+
+
+def test_figure3_fault_gets_covered():
+    d = figure1_design_d()
+    result = generate_tests(d, faults=[figure3_fault()], seed=0, max_attempts=60)
+    assert figure3_fault() in result.detected
+
+
+def test_target_coverage_stops_early():
+    d = figure1_design_d()
+    greedy = generate_tests(d, seed=3, max_attempts=100, target_coverage=1.0)
+    lazy = generate_tests(d, seed=3, max_attempts=100, target_coverage=0.25)
+    assert lazy.attempts <= greedy.attempts
+    assert lazy.coverage >= 0.25 or not lazy.undetected
+
+
+def test_semantics_validation():
+    with pytest.raises(ValueError):
+        generate_tests(figure1_design_d(), semantics="quantum")
+    with pytest.raises(ValueError):
+        generate_tests(figure1_design_d(), target_coverage=2.0)
+
+
+def test_cls_semantics_detects_fewer_or_equal():
+    """CLS-graded coverage can never beat exact-graded coverage on the
+    same sequences (conservativeness, again)."""
+    d = load("mini_traffic")
+    exact = generate_tests(d, seed=4, max_attempts=50, semantics="exact")
+    replay = grade_test_set(d, exact.tests, semantics="cls")
+    assert set(replay.detected) <= set(exact.detected)
+
+
+def test_grade_on_retimed_circuit_shows_the_papers_loss():
+    """Generate for D with exact semantics, replay on hazardously
+    retimed D: coverage can drop; prefixing each test with one warm-up
+    cycle per Theorem 4.6 recovers every lost fault (k = 1 here)."""
+    d = figure1_design_d()
+    session = RetimingSession(d)
+    session.forward("fanQ")
+    c = session.current
+    k = session.theorem45_k
+    assert k == 1
+
+    generated = generate_tests(d, seed=7, max_attempts=80)
+    # Only faults on nets that still exist in C can be replayed.
+    shared = [f for f in generated.detected if c.has_net(f.net)]
+    replay = grade_test_set(c, generated.tests, faults=shared)
+    lost = [f for f in shared if f not in replay.detected]
+
+    # Theorem 4.6: every originally-detected shared fault is detected by
+    # every k-prefixed variant of its original detecting test.
+    for fault in shared:
+        test = generated.tests[generated.detected[fault]]
+        for variant in delayed_tests(test, k, len(c.inputs)):
+            assert detects_exact(c, fault, variant).detected, (fault, variant)
+    # And the loss phenomenon itself is real for the Figure 3 fault/test
+    # shape whenever the generator happened to rely on an initializing
+    # prefix -- we don't assert `lost` nonempty (seed-dependent), only
+    # report it via the delayed recovery above.
+    assert isinstance(lost, list)
+
+
+def test_empty_fault_list():
+    result = generate_tests(figure1_design_d(), faults=[], seed=0)
+    assert result.coverage == 1.0
+    assert result.tests == []

@@ -1,0 +1,101 @@
+"""Tests for the event-driven simulator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generators import pipeline_circuit, random_sequential_circuit
+from repro.bench.iscas import load
+from repro.bench.paper_circuits import TABLE1_INPUT_SEQUENCE, figure1_design_d
+from repro.logic.ternary import ONE, X, ZERO
+from repro.sim.binary import BinarySimulator
+from repro.sim.event_driven import EventDrivenSimulator
+from repro.sim.ternary_sim import TernarySimulator, all_x_state
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 500), data=st.data())
+def test_event_driven_matches_oblivious_binary(seed, data):
+    circuit = random_sequential_circuit(seed, num_inputs=2, num_gates=8, num_latches=3)
+    length = data.draw(st.integers(1, 5))
+    seq = [tuple(data.draw(st.booleans()) for _ in circuit.inputs) for _ in range(length)]
+    state = tuple(data.draw(st.booleans()) for _ in range(circuit.num_latches))
+
+    reference = BinarySimulator(circuit).run(state, seq)
+    event = EventDrivenSimulator(circuit).run(state, seq)
+    assert event.outputs == reference.outputs
+    assert event.states == reference.states
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(0, 300))
+def test_event_driven_matches_oblivious_ternary(seed):
+    circuit = random_sequential_circuit(seed, num_inputs=1, num_gates=7, num_latches=3)
+    seq = [(ZERO,), (X,), (ONE,), (ONE,), (X,), (ZERO,)]
+    reference = TernarySimulator(circuit).run(all_x_state(circuit), seq)
+    event = EventDrivenSimulator(circuit, ternary=True).run(all_x_state(circuit), seq)
+    assert event.outputs == reference.outputs
+    assert event.states == reference.states
+
+
+def test_event_driven_cls_on_paper_circuit():
+    d = figure1_design_d()
+    seq = [tuple(ONE if v else ZERO for v in vec) for vec in TABLE1_INPUT_SEQUENCE]
+    reference = TernarySimulator(d).run_from_unknown(seq)
+    event = EventDrivenSimulator(d, ternary=True).run(all_x_state(d), seq)
+    assert event.outputs == reference.outputs
+
+
+def test_quiet_inputs_produce_low_activity():
+    """Holding the inputs constant after the first cycle must evaluate
+    (almost) nothing -- the point of event-driven simulation."""
+    circuit = load("s27")
+    sim = EventDrivenSimulator(circuit)
+    state = (False,) * 3
+    seq = [(False, False, False, False)] * 10
+    sim.run(state, seq)
+    stats = sim.stats
+    assert stats.evaluations[0] == circuit.num_cells  # first cycle: all
+    # After the state settles, cycles cost zero evaluations.
+    assert stats.evaluations[-1] == 0
+    assert stats.activity_factor < 1.0
+
+
+def test_activity_stats_accounting():
+    circuit = load("s27")
+    sim = EventDrivenSimulator(circuit)
+    sim.run((False,) * 3, [(True, False, True, False), (False, True, False, True)])
+    stats = sim.stats
+    assert len(stats.evaluations) == 2
+    assert stats.total_evaluations == sum(stats.evaluations)
+    assert 0.0 < stats.activity_factor <= 1.0
+
+
+def test_overrides_respected():
+    d = figure1_design_d()
+    sim = EventDrivenSimulator(d, overrides={"q2b": True})
+    outputs, _ = sim.step((False,), (True,))
+    assert outputs == (True,)  # AND(1, stuck-1)
+
+
+def test_arity_validation():
+    d = figure1_design_d()
+    sim = EventDrivenSimulator(d)
+    with pytest.raises(ValueError):
+        sim.step((False,), (True, True))
+    with pytest.raises(ValueError):
+        sim.step((False, False), (True,))
+
+
+def test_pipeline_activity_tracks_waves():
+    """A pipeline fed one pulse then silence: activity decays as the
+    pulse drains through the stages."""
+    circuit = pipeline_circuit(4, 2, seed=0)
+    sim = EventDrivenSimulator(circuit)
+    state = (False,) * circuit.num_latches
+    pulse = [(True, True)] + [(False, False)] * 8
+    sim.run(state, pulse)
+    evals = sim.stats.evaluations
+    assert evals[-1] <= evals[1]

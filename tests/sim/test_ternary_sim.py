@@ -1,0 +1,133 @@
+"""Tests for the conservative three-valued simulator (CLS)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generators import random_sequential_circuit
+from repro.bench.paper_circuits import (
+    TABLE1_INPUT_SEQUENCE,
+    figure1_design_c,
+    figure1_design_d,
+)
+from repro.logic.ternary import ONE, T, X, ZERO, refines
+from repro.netlist.builder import CircuitBuilder
+from repro.sim.binary import BinarySimulator, all_power_up_states
+from repro.sim.exact import exact_outputs
+from repro.sim.ternary_sim import (
+    TernarySimulator,
+    all_x_state,
+    cls_outputs,
+    cls_resets,
+)
+
+
+def test_all_x_state_width():
+    d = figure1_design_d()
+    assert all_x_state(d) == (X,)
+    c = figure1_design_c()
+    assert all_x_state(c) == (X, X)
+
+
+def test_cls_loses_complement_correlation_paper_example():
+    """Section 5's narrative: with the latch at X and input 0, AND
+    gate-1 of design D sees two complementary X's and outputs X, even
+    though the true value is 0."""
+    d = figure1_design_d()
+    sim = TernarySimulator(d)
+    outputs, next_state = sim.step((X,), (ZERO,))
+    assert next_state == (X,)  # CLS cannot see the reset
+    # ... whereas concretely input 0 resets the latch from both states.
+    bsim = BinarySimulator(d)
+    for state in all_power_up_states(d):
+        _, nxt = bsim.step(state, (False,))
+        assert nxt == (False,)
+
+
+def test_cls_outputs_for_table1_sequence():
+    d = figure1_design_d()
+    c = figure1_design_c()
+    expected = ((ZERO,), (X,), (X,), (X,))
+    assert cls_outputs(d, TABLE1_INPUT_SEQUENCE) == expected
+    assert cls_outputs(c, TABLE1_INPUT_SEQUENCE) == expected  # Cor 5.3
+
+
+def test_cls_accepts_ternary_inputs():
+    d = figure1_design_d()
+    outs = cls_outputs(d, [(X,), (ONE,)])
+    assert outs[0] == (X,)  # AND(X, X-state) = X
+
+
+def test_run_from_unknown_equals_run_from_all_x():
+    d = figure1_design_d()
+    sim = TernarySimulator(d)
+    seq = [(ZERO,), (ONE,)]
+    assert sim.run_from_unknown(seq).outputs == sim.run(all_x_state(d), seq).outputs
+
+
+def test_cls_resets_detects_definite_final_state():
+    b = CircuitBuilder("resettable")
+    i = b.input("i")
+    q = b.net("q")
+    nxt = b.gate("AND", i, q)  # input 0 -> next state definite 0 in CLS
+    b.latch(nxt, q, name="ff")
+    b.output(b.gate("BUF", q))
+    c = b.build()
+    assert cls_resets(c, [(ZERO,)])
+    assert not cls_resets(c, [(ONE,)])  # AND(1, X) = X
+
+
+def test_cls_never_resets_figure1_designs():
+    # Figure 1's D is initialisable in reality but never in the CLS.
+    for circuit in (figure1_design_d(), figure1_design_c()):
+        assert not cls_resets(circuit, [(ZERO,), (ONE,), (ZERO,), (ONE,)])
+
+
+def test_overrides_inject_ternary_faults():
+    d = figure1_design_d()
+    sim = TernarySimulator(d, overrides={"q2b": ONE})
+    outputs, _ = sim.step((X,), (ONE,))
+    assert outputs == (ONE,)  # output AND(1, stuck-1) = 1
+
+
+# ---------------------------------------------------------------------------
+# The conservativeness invariant: CLS definite ==> exact agrees.
+# ---------------------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    seed=st.integers(0, 1000),
+    data=st.data(),
+)
+def test_cls_is_conservative_wrt_exact(seed, data):
+    """If the CLS reports 0/1 at (cycle, pin), every power-up state
+    produces that same value there (the well-known soundness property
+    quoted in Section 5)."""
+    circuit = random_sequential_circuit(
+        seed, num_inputs=2, num_gates=6, num_latches=3
+    )
+    length = data.draw(st.integers(1, 5))
+    seq = [
+        tuple(data.draw(st.booleans()) for _ in circuit.inputs) for _ in range(length)
+    ]
+    cls = cls_outputs(circuit, seq)
+    exact = exact_outputs(circuit, seq)
+    for cls_vec, exact_vec in zip(cls, exact):
+        for c_val, e_val in zip(cls_vec, exact_vec):
+            assert refines(e_val, c_val), (
+                "CLS claimed %s but exact disagrees: %s" % (c_val, e_val)
+            )
+
+
+def test_cls_conservative_on_paper_circuit():
+    d = figure1_design_d()
+    cls = cls_outputs(d, TABLE1_INPUT_SEQUENCE)
+    exact = exact_outputs(d, TABLE1_INPUT_SEQUENCE)
+    for cls_vec, exact_vec in zip(cls, exact):
+        for c_val, e_val in zip(cls_vec, exact_vec):
+            assert refines(e_val, c_val)
+    # and the gap is real: exact knows 0·0·1·0, CLS only 0·X·X·X.
+    assert exact[2] == (ONE,) and cls[2] == (X,)

@@ -1,0 +1,73 @@
+"""Tests for delayed designs D^n (Section 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.generators import shift_register
+from repro.bench.paper_circuits import figure1_design_c, figure1_design_d
+from repro.stg.delayed import (
+    delay_needed_for_implication,
+    delayed_implies,
+    delayed_states,
+    stable_states,
+)
+from repro.stg.explicit import extract_stg
+
+
+def test_paper_delayed_design_c1():
+    """Section 3.4: 'The delayed design C^1 consists of states 11 and 00
+    only and thus C^1 is equivalent to the design D.'"""
+    c = extract_stg(figure1_design_c())
+    assert delayed_states(c, 0) == frozenset({0, 1, 2, 3})
+    assert delayed_states(c, 1) == frozenset({0, 3})  # 00 and 11
+    assert delayed_states(c, 2) == frozenset({0, 3})
+
+
+def test_delayed_implication_for_figure1():
+    c = extract_stg(figure1_design_c())
+    d = extract_stg(figure1_design_d())
+    assert not delayed_implies(c, d, 0)  # plain C ⊑ D fails
+    assert delayed_implies(c, d, 1)  # C^1 ⊑ D (Prop 4.2)
+    assert delayed_implies(c, d, 5)
+
+
+def test_delay_needed_matches_minimum():
+    c = extract_stg(figure1_design_c())
+    d = extract_stg(figure1_design_d())
+    assert delay_needed_for_implication(c, d) == 1
+    assert delay_needed_for_implication(d, c) == 0  # D ⊑ C outright
+    assert delay_needed_for_implication(d, d) == 0
+
+
+def test_delay_never_helps_unrelated_machines():
+    """A shift register of different length never implies the other."""
+    a = extract_stg(shift_register(2))
+    b = extract_stg(shift_register(3))
+    assert delay_needed_for_implication(b, a) is None
+
+
+def test_shift_register_delayed_chain():
+    """An n-stage shift register on a single input: after k cycles, the
+    k oldest bits are copies of the (shifted) input history but the
+    state set stays full until inputs constrain nothing -- here all
+    states remain reachable, so the chain stabilises at once."""
+    stg = extract_stg(shift_register(3))
+    # every state reachable from some state under some input
+    assert delayed_states(stg, 1) == frozenset(range(8))
+    states, n = stable_states(stg)
+    assert states == frozenset(range(8))
+    assert n == 0
+
+
+def test_stable_states_of_figure1_c():
+    c = extract_stg(figure1_design_c())
+    states, n = stable_states(c)
+    assert states == frozenset({0, 3})
+    assert n == 1
+
+
+def test_delayed_states_rejects_negative():
+    c = extract_stg(figure1_design_c())
+    with pytest.raises(ValueError):
+        delayed_states(c, -1)

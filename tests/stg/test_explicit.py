@@ -1,0 +1,92 @@
+"""Tests for explicit STG extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.generators import random_sequential_circuit, shift_register
+from repro.bench.paper_circuits import figure1_design_c, figure1_design_d
+from repro.sim.binary import BinarySimulator, state_from_int, state_to_int
+from repro.stg.explicit import STG, extract_stg
+
+
+def test_figure2_stg_of_design_d():
+    """Figure 2's STG for D: input 0 goes to state 0 (output 0); input 1
+    toggles, outputting the current state."""
+    stg = extract_stg(figure1_design_d())
+    assert stg.num_states == 2 and stg.num_symbols == 2
+    # next_state[s][a], output[s][a]
+    assert stg.next_state[0][0] == 0 and stg.output[0][0] == 0
+    assert stg.next_state[1][0] == 0 and stg.output[1][0] == 0
+    assert stg.next_state[0][1] == 1 and stg.output[0][1] == 0
+    assert stg.next_state[1][1] == 0 and stg.output[1][1] == 1
+
+
+def test_figure2_stg_of_design_c():
+    """C's 4-state STG: both latches always load the same next value,
+    so every successor is 00 or 11."""
+    stg = extract_stg(figure1_design_c())
+    assert stg.num_states == 4
+    for s in range(4):
+        for a in range(2):
+            assert stg.next_state[s][a] in (0, 3)
+    # The rogue state 10 is the only one input 0 does NOT send to 00 --
+    # the root of Table 1's deviation (it reaches 11, which then emits
+    # the stray 1).
+    s10 = 2  # binary "10"
+    assert stg.next_state[s10][0] == 3
+    for s in (0, 1, 3):
+        assert stg.next_state[s][0] == 0
+
+
+def test_stg_matches_scalar_simulation():
+    circuit = random_sequential_circuit(3, num_inputs=2, num_gates=6, num_latches=3)
+    stg = extract_stg(circuit)
+    sim = BinarySimulator(circuit)
+    for s in range(stg.num_states):
+        state = state_from_int(circuit, s)
+        for a in range(stg.num_symbols):
+            bits = tuple(
+                bool((a >> (len(circuit.inputs) - 1 - i)) & 1)
+                for i in range(len(circuit.inputs))
+            )
+            outputs, nxt = sim.step(state, bits)
+            assert stg.next_state[s][a] == state_to_int(nxt)
+            assert stg.output[s][a] == state_to_int(outputs)
+
+
+def test_stg_run():
+    stg = extract_stg(figure1_design_d())
+    outputs, final = stg.run(1, [0, 1, 1, 1])  # state 1, input 0·1·1·1
+    assert outputs == [0, 0, 1, 0]
+    assert final == 1  # 1 -0-> 0 -1-> 1 -1-> 0 -1-> 1
+
+
+def test_stg_successors():
+    stg = extract_stg(figure1_design_c())
+    assert stg.successors(range(4)) == frozenset({0, 3})
+
+
+def test_stg_labels_and_decoding():
+    stg = extract_stg(figure1_design_c())
+    assert stg.state_label(2) == "10"
+    assert stg.output_vector(1) == (True,)
+    assert stg.output_vector(0) == (False,)
+
+
+def test_stg_size_guard():
+    sr = shift_register(30)
+    with pytest.raises(ValueError, match="limit"):
+        extract_stg(sr)
+
+
+def test_stg_pretty_contains_transitions():
+    text = extract_stg(figure1_design_d()).pretty()
+    assert "1 --1/1--> 0" in text
+
+
+def test_stg_edges_iteration():
+    stg = extract_stg(figure1_design_d())
+    edges = list(stg.edges())
+    assert len(edges) == stg.num_states * stg.num_symbols
+    assert (1, 1, 0, 1) in edges  # state 1, input 1 -> state 0, output 1

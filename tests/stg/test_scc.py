@@ -1,0 +1,125 @@
+"""Tests for SCC / TSCC analysis (SHE)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.paper_circuits import figure1_design_c, figure1_design_d
+from repro.stg.explicit import STG, extract_stg
+from repro.stg.scc import (
+    she_analysis,
+    steady_state_equivalent,
+    strongly_connected_components,
+    terminal_sccs,
+)
+
+
+# ---------------------------------------------------------------------------
+# Raw graph algorithms.
+# ---------------------------------------------------------------------------
+
+
+def test_tarjan_on_simple_dag():
+    # 0 -> 1 -> 2, no cycles: three singleton SCCs.
+    sccs = strongly_connected_components([[1], [2], []])
+    assert sorted(map(sorted, sccs)) == [[0], [1], [2]]
+
+
+def test_tarjan_on_cycle():
+    sccs = strongly_connected_components([[1], [2], [0]])
+    assert len(sccs) == 1
+    assert sccs[0] == frozenset({0, 1, 2})
+
+
+def test_tarjan_mixed():
+    # Two 2-cycles joined by a bridge: {0,1} -> {2,3}
+    graph = [[1], [0, 2], [3], [2]]
+    sccs = strongly_connected_components(graph)
+    assert frozenset({0, 1}) in sccs
+    assert frozenset({2, 3}) in sccs
+    # Reverse topological order: the sink component comes first.
+    assert sccs.index(frozenset({2, 3})) < sccs.index(frozenset({0, 1}))
+
+
+def test_tarjan_self_loop_and_isolated():
+    graph = [[0], []]
+    sccs = strongly_connected_components(graph)
+    assert frozenset({0}) in sccs and frozenset({1}) in sccs
+
+
+def test_tarjan_deep_chain_no_recursion_error():
+    n = 5000
+    graph = [[i + 1] for i in range(n - 1)] + [[]]
+    sccs = strongly_connected_components(graph)
+    assert len(sccs) == n
+
+
+def test_terminal_sccs():
+    graph = [[1], [0, 2], [3], [2]]
+    terminal = terminal_sccs(graph)
+    assert terminal == [frozenset({2, 3})]
+
+
+def test_two_terminal_sccs():
+    # 0 -> 1 (loop), 0 -> 2 (loop): two sinks.
+    graph = [[1, 2], [1], [2]]
+    terminal = terminal_sccs(graph)
+    assert sorted(map(sorted, terminal)) == [[1], [2]]
+
+
+# ---------------------------------------------------------------------------
+# SHE analysis on the paper's designs.
+# ---------------------------------------------------------------------------
+
+
+def test_figure1_designs_are_essentially_resettable():
+    """Both D and C have a single terminal SCC -- their steady-state
+    behaviour is well-defined under random power-up (Pixley's SHE)."""
+    for circuit in (figure1_design_d(), figure1_design_c()):
+        report = she_analysis(extract_stg(circuit))
+        assert report.essentially_resettable
+        assert report.num_terminal_sccs == 1
+
+
+def test_figure1_c_has_transient_block():
+    report = she_analysis(extract_stg(figure1_design_c()))
+    assert report.num_states == 4
+    assert report.num_blocks == 3  # 00 ~ 01 collapse
+    assert report.num_sccs == 2  # the rogue block is a transient SCC
+
+
+def test_steady_state_equivalence_of_d_and_c():
+    """The TSCCs of D and C are equivalent -- 'all interesting notions
+    of replacement require equivalence of the TSCCs'."""
+    d = extract_stg(figure1_design_d())
+    c = extract_stg(figure1_design_c())
+    assert steady_state_equivalent(c, d)
+    assert steady_state_equivalent(d, c)
+
+
+def test_steady_state_inequivalence():
+    constant0 = STG(
+        num_latches=0, num_inputs=1, num_outputs=1,
+        next_state=[[0, 0]], output=[[0, 0]], name="zero",
+    )
+    echo = STG(
+        num_latches=0, num_inputs=1, num_outputs=1,
+        next_state=[[0, 0]], output=[[0, 1]], name="echo",
+    )
+    assert not steady_state_equivalent(constant0, echo)
+
+
+def test_multi_tscc_machine_flagged():
+    """A machine whose power-up mode is never forgotten (two disjoint
+    modes) is NOT essentially resettable."""
+    stg = STG(
+        num_latches=1,
+        num_inputs=1,
+        num_outputs=1,
+        next_state=[[0, 0], [1, 1]],
+        output=[[0, 1], [1, 0]],
+        name="two_modes",
+    )
+    report = she_analysis(stg)
+    assert not report.essentially_resettable
+    assert report.num_terminal_sccs == 2

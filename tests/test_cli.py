@@ -1,0 +1,211 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.iscas import BENCHMARKS
+from repro.cli import main
+
+
+@pytest.fixture
+def s27_path(tmp_path):
+    path = tmp_path / "s27.bench"
+    path.write_text(BENCHMARKS["s27"])
+    return str(path)
+
+
+@pytest.fixture
+def traffic_path(tmp_path):
+    path = tmp_path / "traffic.bench"
+    path.write_text(BENCHMARKS["mini_traffic"])
+    return str(path)
+
+
+def test_info(s27_path, capsys):
+    assert main(["info", s27_path]) == 0
+    out = capsys.readouterr().out
+    assert "clock period" in out
+    assert "registers:" in out
+    assert "SHE:" in out
+    assert "essentially resettable" in out
+
+
+def test_info_skips_large_stg(s27_path, capsys):
+    assert main(["info", s27_path, "--max-stg-bits", "2"]) == 0
+    assert "skipped" in capsys.readouterr().out
+
+
+def test_simulate_cls(s27_path, capsys):
+    assert main(["simulate", s27_path, "--sequence", "0000,1111,0101"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle" in out and "outputs" in out
+
+
+def test_simulate_binary_requires_state(s27_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["simulate", s27_path, "--mode", "binary", "--sequence", "0000"])
+    assert main(
+        ["simulate", s27_path, "--mode", "binary", "--state", "000", "--sequence", "0000,1111"]
+    ) == 0
+
+
+def test_simulate_exact(s27_path, capsys):
+    assert main(["simulate", s27_path, "--mode", "exact", "--sequence", "0000,1111"]) == 0
+    out = capsys.readouterr().out
+    assert "power-up" in out
+
+
+def test_simulate_exact_rejects_x_inputs(s27_path):
+    with pytest.raises(SystemExit, match="definite"):
+        main(["simulate", s27_path, "--mode", "exact", "--sequence", "0X00,1111"])
+
+
+def test_simulate_width_mismatch(s27_path):
+    with pytest.raises(SystemExit, match="width"):
+        main(["simulate", s27_path, "--sequence", "01"])
+
+
+def test_retime_roundtrip(traffic_path, tmp_path, capsys):
+    out_path = str(tmp_path / "retimed.bench")
+    assert main(["retime", traffic_path, "-o", out_path]) == 0
+    text = capsys.readouterr().out
+    assert "period:" in text and "CLS invariance (sampled): OK" in text
+    # The written file must check out against the original.
+    assert main(["check", traffic_path, out_path, "--exhaustive"]) == 0
+    out = capsys.readouterr().out
+    assert "EQUIVALENT" in out
+
+
+def test_retime_min_area(traffic_path, capsys):
+    assert main(["retime", traffic_path, "--objective", "min-area"]) == 0
+    assert "registers:" in capsys.readouterr().out
+
+
+def test_check_detects_difference(traffic_path, tmp_path, capsys):
+    other = tmp_path / "other.bench"
+    other.write_text(BENCHMARKS["mini_traffic"].replace("NOR(s0, s1)", "NOR(s1, s0)").replace(
+        "green = NOR", "green = OR"
+    ))
+    assert main(["check", traffic_path, str(other)]) == 1
+
+
+def test_atpg(traffic_path, capsys):
+    assert main(["atpg", traffic_path, "--attempts", "40", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "faults detected" in out
+    assert "test 0:" in out
+
+
+def test_paper_command(capsys):
+    assert main(["paper"]) == 0
+    out = capsys.readouterr().out
+    assert "0·0·1·0" in out
+    assert "0·X·X·X" in out
+
+
+def test_simulate_vcd_output(s27_path, tmp_path, capsys):
+    vcd_path = str(tmp_path / "wave.vcd")
+    assert main(
+        ["simulate", s27_path, "--sequence", "0000,1111", "--vcd", vcd_path]
+    ) == 0
+    text = open(vcd_path).read()
+    assert "$enddefinitions $end" in text
+    assert "in.G0" in text
+
+
+def test_simulate_vcd_rejected_for_exact_mode(s27_path, tmp_path):
+    with pytest.raises(SystemExit, match="full trace"):
+        main(
+            [
+                "simulate",
+                s27_path,
+                "--mode",
+                "exact",
+                "--sequence",
+                "0000,1111",
+                "--vcd",
+                str(tmp_path / "w.vcd"),
+            ]
+        )
+
+
+def test_check_with_stg_analysis(traffic_path, tmp_path, capsys):
+    out_path = str(tmp_path / "ret.bench")
+    assert main(["retime", traffic_path, "-o", out_path]) == 0
+    capsys.readouterr()
+    assert main(["check", traffic_path, out_path, "--stg"]) == 0
+    out = capsys.readouterr().out
+    assert "implication" in out
+    assert "safe replacement" in out
+
+
+def test_check_stg_skipped_when_large(traffic_path, tmp_path, capsys):
+    out_path = str(tmp_path / "ret.bench")
+    main(["retime", traffic_path, "-o", out_path])
+    capsys.readouterr()
+    assert main(["check", traffic_path, out_path, "--stg", "--max-stg-bits", "1"]) == 0
+    assert "skipped" in capsys.readouterr().out
+
+
+def test_redundancy_command(tmp_path, capsys):
+    bench = tmp_path / "red.bench"
+    bench.write_text(
+        "INPUT(x)\nINPUT(y)\nOUTPUT(z)\n"
+        "q = DFF(w)\n"
+        "inner = AND(x, y)\n"
+        "w = OR(x, inner)\n"
+        "z = BUF(q)\n"
+    )
+    out_path = str(tmp_path / "opt.bench")
+    assert main(["redundancy", str(bench), "-o", out_path]) == 0
+    out = capsys.readouterr().out
+    assert "applied" in out
+    # The optimised file must be CLS-equivalent to the original.
+    capsys.readouterr()
+    assert main(["check", str(bench), out_path, "--exhaustive"]) == 0
+
+
+def test_blif_workflow(tmp_path, capsys):
+    """CLI dispatches on .blif extension for both read and write."""
+    blif = tmp_path / "machine.blif"
+    blif.write_text(
+        ".model m\n.inputs x\n.outputs z\n.latch d q 3\n"
+        ".names x q d\n11 1\n.names q z\n1 1\n.end\n"
+    )
+    assert main(["info", str(blif)]) == 0
+    out_path = str(tmp_path / "retimed.blif")
+    capsys.readouterr()
+    assert main(["retime", str(blif), "-o", out_path]) == 0
+    text = open(out_path).read()
+    assert text.startswith(".model")
+    capsys.readouterr()
+    assert main(["check", str(blif), out_path, "--exhaustive"]) == 0
+    assert "EQUIVALENT" in capsys.readouterr().out
+
+
+def test_cross_format_check(tmp_path, capsys):
+    """A .bench original can be checked against a .blif retiming."""
+    bench = tmp_path / "m.bench"
+    bench.write_text("INPUT(x)\nOUTPUT(z)\nq = DFF(d)\nd = AND(x, q)\nz = NOT(q)\n")
+    out_path = str(tmp_path / "m.blif")
+    assert main(["retime", str(bench), "-o", out_path]) == 0
+    capsys.readouterr()
+    assert main(["check", str(bench), out_path, "--exhaustive", "--stg"]) == 0
+
+
+def test_retime_with_delay_model_and_period(traffic_path, capsys):
+    assert main(
+        [
+            "retime",
+            traffic_path,
+            "--objective",
+            "min-area",
+            "--delay-model",
+            "loaded",
+            "--period",
+            "9",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "period:" in out and "CLS invariance (sampled): OK" in out
