@@ -34,6 +34,7 @@ from .retime.min_area import min_area_retiming
 from .retime.validity import cls_equivalent
 from .sim.atpg import generate_tests
 from .sim.binary import BinarySimulator, parse_state
+from .sim.compiled import BACKENDS, set_default_backend
 from .sim.exact import exact_outputs
 from .sim.ternary_sim import TernarySimulator
 from .stg.explicit import extract_stg
@@ -325,6 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Retiming-validity toolkit (Singhal/Pixley/Rudell/Brayton, DAC'95)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="simulator evaluation backend: 'compiled' (flat-program, the "
+        "default) or 'interpreted' (reference netlist walk)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("info", help="circuit statistics and SHE analysis")
@@ -385,6 +393,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        set_default_backend(args.backend)
     return args.func(args)
 
 

@@ -165,6 +165,33 @@ class CellFunction:
     # -- structural queries --------------------------------------------
 
     @property
+    def family(self) -> str:
+        """The library family this cell evaluates as.
+
+        One of ``AND OR NAND NOR XOR XNOR NOT BUF MUX CONST0 CONST1
+        JUNC`` -- or ``GENERIC`` for cells outside the standard library
+        (or with non-standard pin counts), which evaluators must handle
+        via :meth:`eval_binary` / :meth:`eval_ternary`.  This is the
+        opcode source for :mod:`repro.sim.compiled` and the batched
+        simulators; family classification is by library name, exactly
+        the convention :func:`make_gate` / :func:`junction` establish.
+        """
+        head = self.name.rstrip("0123456789")
+        if head in _GATE_SPECS and self.n_outputs == 1 and self.n_inputs >= 1:
+            return head
+        if head == "JUNC" and self.n_inputs == 1 and self.n_outputs >= 1:
+            return "JUNC"
+        if self.name == "NOT" and (self.n_inputs, self.n_outputs) == (1, 1):
+            return "NOT"
+        if self.name == "BUF" and (self.n_inputs, self.n_outputs) == (1, 1):
+            return "BUF"
+        if self.name == "MUX" and (self.n_inputs, self.n_outputs) == (3, 1):
+            return "MUX"
+        if head == "CONST" and (self.n_inputs, self.n_outputs) == (0, 1):
+            return "CONST1" if self.name.endswith("1") else "CONST0"
+        return "GENERIC"
+
+    @property
     def is_multi_output(self) -> bool:
         """True for cells with more than one output pin."""
         return self.n_outputs > 1

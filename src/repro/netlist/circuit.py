@@ -110,6 +110,17 @@ class Circuit:
         self._latches: Dict[str, Latch] = {}
         self._drivers: Dict[str, Driver] = {}
         self._topo_cache: Optional[Tuple[str, ...]] = None
+        self._compiled_cache: Optional[object] = None
+
+    def _invalidate_caches(self) -> None:
+        """Drop every structure-derived cache.
+
+        Called by every mutator.  The topological order and the compiled
+        evaluation program (:mod:`repro.sim.compiled`) share exactly one
+        invalidation contract: any structural change clears both.
+        """
+        self._topo_cache = None
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -226,14 +237,14 @@ class Circuit:
         """Declare a primary input driving net *net*."""
         self._claim_net(net, ("input", net))
         self._inputs.append(net)
-        self._topo_cache = None
+        self._invalidate_caches()
         return net
 
     def add_output(self, net: str) -> None:
         """Declare net *net* as a primary output (the net must exist by
         simulation time, not necessarily yet)."""
         self._outputs.append(net)
-        self._topo_cache = None
+        self._invalidate_caches()
 
     def add_cell(
         self,
@@ -253,7 +264,7 @@ class Circuit:
         for pin, net in enumerate(cell.outputs):
             self._claim_net(net, ("cell", name, pin))
         self._cells[name] = cell
-        self._topo_cache = None
+        self._invalidate_caches()
         return cell
 
     def add_latch(self, name: str, data_in: str, data_out: str) -> Latch:
@@ -263,7 +274,7 @@ class Circuit:
         latch = Latch(name, data_in, data_out)
         self._claim_net(data_out, ("latch", name))
         self._latches[name] = latch
-        self._topo_cache = None
+        self._invalidate_caches()
         return latch
 
     def remove_cell(self, name: str) -> Cell:
@@ -272,7 +283,7 @@ class Circuit:
         del self._cells[name]
         for net in cell.outputs:
             del self._drivers[net]
-        self._topo_cache = None
+        self._invalidate_caches()
         return cell
 
     def remove_latch(self, name: str) -> Latch:
@@ -280,7 +291,7 @@ class Circuit:
         latch = self.latch(name)
         del self._latches[name]
         del self._drivers[latch.data_out]
-        self._topo_cache = None
+        self._invalidate_caches()
         return latch
 
     def replace_cell(self, name: str, cell: Cell) -> None:
@@ -305,7 +316,7 @@ class Circuit:
             self._cells[name] = old
             raise
         self._cells[name] = cell
-        self._topo_cache = None
+        self._invalidate_caches()
 
     def fresh_net(self, stem: str) -> str:
         """A net name based on *stem* not yet used in the circuit."""
@@ -416,7 +427,10 @@ class Circuit:
         other._cells = dict(self._cells)
         other._latches = dict(self._latches)
         other._drivers = dict(self._drivers)
+        # Caches are derived purely from the (immutable-element) structure,
+        # so a structural copy may share them until either side mutates.
         other._topo_cache = self._topo_cache
+        other._compiled_cache = self._compiled_cache
         return other
 
     def structurally_equal(self, other: "Circuit") -> bool:

@@ -92,8 +92,9 @@ def first_cls_difference(
     """The first (sequence index, cycle) where CLS outputs differ, or
     ``None`` when all checked sequences agree.
 
-    Equal-length sequence batches run through the vectorised dual-rail
-    simulator; ragged batches fall back to the scalar CLS.
+    Equal-length sequence batches run through the batched dual-rail
+    simulator (one compiled lane-mask pass per cycle for the whole
+    batch); ragged batches fall back to the scalar CLS.
     """
     if sequences is None:
         sequences = random_ternary_sequences(len(original.inputs), **kwargs)

@@ -1,6 +1,19 @@
-"""Simulators: binary, conservative three-valued (CLS), exact, faulty."""
+"""Simulators: binary, conservative three-valued (CLS), exact, faulty.
+
+All of them evaluate through the compile-once core in
+:mod:`repro.sim.compiled`; :func:`propagate` remains the reference
+interpreter the property tests cross-check against.
+"""
 
 from .core import SimulationTrace, propagate  # noqa: F401
+from .compiled import (  # noqa: F401
+    BACKENDS,
+    CompiledCircuit,
+    compile_circuit,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from .binary import (  # noqa: F401
     BinarySimulator,
     all_power_up_states,
@@ -31,6 +44,7 @@ from .fault import (  # noqa: F401
     detects_exact,
     enumerate_faults,
     faulty_overrides,
+    good_outputs,
 )
 from .atpg import AtpgResult, generate_tests, grade_test_set  # noqa: F401
 from .event_driven import ActivityStats, EventDrivenSimulator  # noqa: F401

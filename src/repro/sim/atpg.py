@@ -28,7 +28,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.circuit import Circuit
-from .fault import StuckAtFault, detects_cls, detects_exact, enumerate_faults
+from .fault import (
+    StuckAtFault,
+    detects_cls,
+    detects_exact,
+    enumerate_faults,
+    good_outputs,
+)
 
 __all__ = ["AtpgResult", "generate_tests", "grade_test_set"]
 
@@ -72,10 +78,12 @@ class AtpgResult:
         )
 
 
-def _detects(circuit: Circuit, fault: StuckAtFault, test: Test, semantics: str) -> bool:
+def _detects(
+    circuit: Circuit, fault: StuckAtFault, test: Test, semantics: str, good=None
+) -> bool:
     if semantics == "exact":
-        return detects_exact(circuit, fault, test).detected
-    return detects_cls(circuit, fault, test).detected
+        return detects_exact(circuit, fault, test, good=good).detected
+    return detects_cls(circuit, fault, test, good=good).detected
 
 
 def generate_tests(
@@ -125,10 +133,11 @@ def generate_tests(
             tuple(rng.random() < 0.5 for _ in range(width)) for _ in range(length)
         )
         result.attempts += 1
+        good = good_outputs(circuit, candidate, semantics=semantics)
         caught = [
             fault
             for fault in result.undetected
-            if _detects(circuit, fault, candidate, semantics)
+            if _detects(circuit, fault, candidate, semantics, good)
         ]
         if caught:
             index = len(result.tests)
@@ -151,10 +160,12 @@ def grade_test_set(
     fault_list = list(faults) if faults is not None else list(enumerate_faults(circuit))
     result = AtpgResult(tests=list(tests), undetected=list(fault_list))
     for index, test in enumerate(tests):
+        vectors = tuple(tuple(v) for v in test)
+        good = good_outputs(circuit, vectors, semantics=semantics)
         caught = [
             fault
             for fault in result.undetected
-            if _detects(circuit, fault, tuple(tuple(v) for v in test), semantics)
+            if _detects(circuit, fault, vectors, semantics, good)
         ]
         for fault in caught:
             result.detected[fault] = index

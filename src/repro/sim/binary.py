@@ -15,6 +15,7 @@ import itertools
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from ..netlist.circuit import Circuit
+from .compiled import compile_circuit, resolve_backend
 from .core import SimulationTrace, propagate
 
 __all__ = [
@@ -39,16 +40,31 @@ class BinarySimulator:
     overrides:
         Optional stuck-at fault forcing: net -> bool.  See
         :mod:`repro.sim.fault` for the high-level fault API.
+    backend:
+        ``"compiled"`` (the default) evaluates through the flat program
+        of :mod:`repro.sim.compiled`; ``"interpreted"`` walks the
+        netlist with the reference :func:`~repro.sim.core.propagate`.
+        ``None`` picks the process default (see
+        :func:`repro.sim.compiled.set_default_backend`).
     """
 
     def __init__(
-        self, circuit: Circuit, overrides: Optional[Mapping[str, bool]] = None
+        self,
+        circuit: Circuit,
+        overrides: Optional[Mapping[str, bool]] = None,
+        *,
+        backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.overrides = dict(overrides) if overrides else {}
+        self.backend = resolve_backend(backend)
 
     def step(self, state: Sequence[bool], inputs: Sequence[bool]) -> Tuple[BoolVec, BoolVec]:
         """One clock cycle: returns ``(outputs, next_state)``."""
+        if self.backend == "compiled":
+            return compile_circuit(self.circuit).step_binary(
+                tuple(state), tuple(inputs), overrides=self.overrides or None
+            )
         values = propagate(
             self.circuit, tuple(inputs), tuple(state), ternary=False, overrides=self.overrides
         )

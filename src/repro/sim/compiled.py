@@ -1,0 +1,688 @@
+"""The compile-once evaluation core shared by every simulator.
+
+Every experiment in this repository ultimately evaluates the same
+combinational core thousands of times -- Table 1 sweeps, the exact
+power-up-state sweep, CLS-invariance checks, fault grading, STG
+extraction.  Instead of re-walking the name-keyed netlist cell by cell
+each cycle (:func:`repro.sim.core.propagate`, kept as the reference
+interpreter), :class:`CompiledCircuit` lowers a
+:class:`~repro.netlist.circuit.Circuit` **once** into a flat program:
+
+* dense integer net ids (``net_index`` / ``net_names``),
+* a topologically ordered opcode/operand array (``ops``), with opcodes
+  classified from the cell library via
+  :attr:`repro.logic.functions.CellFunction.family`,
+* precomputed index vectors for the primary inputs, latch outputs
+  (cycle sources), latch data inputs (next state) and primary outputs.
+
+The compiled program is cached on the circuit (``_compiled_cache``)
+next to ``_topo_cache`` and invalidated by exactly the same mutation
+hooks, so the retiming engine can keep rewriting circuits freely.
+
+Value representation -- lanes as integer bitmasks
+-------------------------------------------------
+
+All backends are *lane parallel*: a net's value is one arbitrary-
+precision Python integer whose bit ``i`` is lane ``i``'s value (LSB =
+lane 0).  Bitwise ops on Python ints run at C speed per 30-bit limb, so
+one pass evaluates any number of independent simulations at once --
+and with a single lane the same code is a fast scalar simulator,
+without numpy overhead on small batches.
+
+* **binary**: one mask per net; ``AND`` is ``&``, ``NOT`` is ``M ^ x``
+  where ``M`` is the all-lanes mask.
+* **conservative ternary (CLS)**: two masks per net, the *dual-rail*
+  encoding ``(can0, can1)`` -- ``0 = (1, 0)``, ``1 = (0, 1)``,
+  ``X = (1, 1)``.  Each opcode has a closed dual-rail form of its
+  Kleene (per-cell exact) ternary table, e.g. for AND
+  ``can0 = a.can0 | b.can0`` and ``can1 = a.can1 & b.can1``.
+
+Three public backends wrap this core:
+
+* :meth:`CompiledCircuit.step_binary` -- scalar Boolean cycles,
+* :meth:`CompiledCircuit.step_ternary` -- scalar conservative-ternary
+  (CLS) cycles over :class:`~repro.logic.ternary.T`,
+* :meth:`CompiledCircuit.step_binary_masks` /
+  :meth:`CompiledCircuit.step_ternary_masks` -- the batched
+  (lanes x nets) forms used by :mod:`repro.sim.multi`,
+  :mod:`repro.sim.ternary_multi`, :mod:`repro.sim.exact` and
+  :mod:`repro.stg.explicit`.
+
+Each backend takes the stuck-at ``overrides`` contract of the
+reference interpreter: an overridden net holds the forced value no
+matter what its driver computes, sources included, so fault injection
+(:mod:`repro.sim.fault`) works unchanged.
+
+Execution strategy: when no override is active the program is *code-
+generated* -- one Python statement per op, compiled with :func:`compile`
+once and memoised globally by source text, so structurally identical
+circuits (e.g. a benchmark rebuilding Figure 1 every round) share one
+code object.  With overrides the flat program is interpreted op by op;
+both paths are exact mirrors and the property suite cross-checks them
+against :func:`~repro.sim.core.propagate`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..logic.functions import CellFunction
+from ..logic.ternary import ONE, T, X, ZERO
+from ..netlist.circuit import Circuit, CircuitError
+
+__all__ = [
+    "CompiledCircuit",
+    "compile_circuit",
+    "BACKENDS",
+    "get_default_backend",
+    "set_default_backend",
+    "resolve_backend",
+    "column_to_mask",
+    "mask_to_column",
+]
+
+# ---------------------------------------------------------------------------
+# Backend selection registry (the CLI's --backend escape hatch).
+# ---------------------------------------------------------------------------
+
+BACKENDS = ("compiled", "interpreted")
+
+_default_backend = "compiled"
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default simulator backend."""
+    if name not in BACKENDS:
+        raise ValueError("unknown backend %r (choose from %s)" % (name, BACKENDS))
+    global _default_backend
+    _default_backend = name
+
+
+def get_default_backend() -> str:
+    """The process-wide default simulator backend."""
+    return _default_backend
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """Resolve an explicit backend choice (``None`` -> the default)."""
+    if name is None:
+        return _default_backend
+    if name not in BACKENDS:
+        raise ValueError("unknown backend %r (choose from %s)" % (name, BACKENDS))
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Opcodes.
+# ---------------------------------------------------------------------------
+
+OP_AND = 0
+OP_OR = 1
+OP_NAND = 2
+OP_NOR = 3
+OP_XOR = 4
+OP_XNOR = 5
+OP_NOT = 6
+OP_BUF = 7
+OP_MUX = 8
+OP_CONST0 = 9
+OP_CONST1 = 10
+OP_JUNC = 11
+OP_GENERIC = 12
+
+_FAMILY_TO_OP = {
+    "AND": OP_AND,
+    "OR": OP_OR,
+    "NAND": OP_NAND,
+    "NOR": OP_NOR,
+    "XOR": OP_XOR,
+    "XNOR": OP_XNOR,
+    "NOT": OP_NOT,
+    "BUF": OP_BUF,
+    "MUX": OP_MUX,
+    "CONST0": OP_CONST0,
+    "CONST1": OP_CONST1,
+    "JUNC": OP_JUNC,
+    "GENERIC": OP_GENERIC,
+}
+
+#: One program step: (opcode, input net ids, output net ids, cell function).
+#: The function reference is only consulted for ``OP_GENERIC``.
+Op = Tuple[int, Tuple[int, ...], Tuple[int, ...], CellFunction]
+
+
+# ---------------------------------------------------------------------------
+# numpy boundary helpers (the batched wrappers speak ndarray, the core ints).
+# ---------------------------------------------------------------------------
+
+
+def column_to_mask(column: np.ndarray) -> int:
+    """Pack a boolean lane column into an integer mask (bit i = lane i)."""
+    packed = np.packbits(np.asarray(column, dtype=bool), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+def mask_to_column(mask: int, batch: int) -> np.ndarray:
+    """Unpack an integer lane mask into a boolean column of length *batch*."""
+    if batch == 0:
+        return np.zeros(0, dtype=bool)
+    nbytes = (batch + 7) // 8
+    buf = np.frombuffer(mask.to_bytes(nbytes, "little"), dtype=np.uint8)
+    return np.unpackbits(buf, bitorder="little", count=batch).astype(bool)
+
+
+# ---------------------------------------------------------------------------
+# Generic-cell (non-library) lane-by-lane fallbacks.
+# ---------------------------------------------------------------------------
+
+
+def _generic_binary(fn: CellFunction, ins: Sequence[int], all_lanes: int) -> List[int]:
+    outs = [0] * fn.n_outputs
+    lane_bit = 1
+    while lane_bit <= all_lanes:
+        if all_lanes & lane_bit:
+            vals = fn.eval_binary(tuple(bool(m & lane_bit) for m in ins))
+            for pin, v in enumerate(vals):
+                if v:
+                    outs[pin] |= lane_bit
+        lane_bit <<= 1
+    return outs
+
+
+_RAIL_OF_T = {ZERO: (1, 0), ONE: (0, 1), X: (1, 1)}
+_T_OF_RAIL = {(1, 0): ZERO, (0, 1): ONE, (1, 1): X}
+
+
+def _generic_ternary(
+    fn: CellFunction, ins: Sequence[Tuple[int, int]], all_lanes: int
+) -> List[Tuple[int, int]]:
+    outs = [(0, 0)] * fn.n_outputs
+    out_a = [0] * fn.n_outputs
+    out_b = [0] * fn.n_outputs
+    lane_bit = 1
+    while lane_bit <= all_lanes:
+        if all_lanes & lane_bit:
+            vector = tuple(
+                _T_OF_RAIL[(1 if a & lane_bit else 0, 1 if b & lane_bit else 0)]
+                for a, b in ins
+            )
+            vals = fn.eval_ternary(vector)
+            for pin, v in enumerate(vals):
+                ra, rb = _RAIL_OF_T[v]
+                if ra:
+                    out_a[pin] |= lane_bit
+                if rb:
+                    out_b[pin] |= lane_bit
+        lane_bit <<= 1
+    outs = list(zip(out_a, out_b))
+    return outs
+
+
+# ---------------------------------------------------------------------------
+# Code generation (the no-override fast path).
+# ---------------------------------------------------------------------------
+
+_CODE_CACHE: Dict[str, Any] = {}
+
+#: Global memo of finished step functions keyed by (domain, program
+#: signature).  Benchmarks and optimisation loops rebuild structurally
+#: identical circuits constantly; sharing the compiled function across
+#: instances turns recompilation into a dict lookup.
+_FN_CACHE: Dict[Any, Callable] = {}
+
+
+def _compile_source(source: str, env: Dict[str, Any]) -> Callable:
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        code = compile(source, "<repro.sim.compiled>", "exec")
+        _CODE_CACHE[source] = code
+    exec(code, env)  # noqa: S102 - self-generated source, memoised
+    return env["_f"]
+
+
+def _memoised_fn(cc: "CompiledCircuit", domain: str) -> Callable:
+    key = (domain, cc.signature)
+    fn = _FN_CACHE.get(key)
+    if fn is None:
+        source, env = (_emit_binary if domain == "b" else _emit_ternary)(cc)
+        fn = _compile_source(source, env)
+        _FN_CACHE[key] = fn
+    return fn
+
+
+def _emit_binary(cc: "CompiledCircuit") -> Tuple[str, Dict[str, Any]]:
+    """Generate the binary lane-mask step function.
+
+    Signature of the generated function:
+    ``_f(S, I, M) -> (output_masks, next_state_masks)`` where ``S``/``I``
+    are sequences of latch/input masks and ``M`` the all-lanes mask.
+    """
+    lines = ["def _f(S, I, M):"]
+    env: Dict[str, Any] = {"_gb": _generic_binary}
+    for pin, net in enumerate(cc.input_ids):
+        lines.append("    v%d = I[%d]" % (net, pin))
+    for pos, net in enumerate(cc.latch_out_ids):
+        lines.append("    v%d = S[%d]" % (net, pos))
+    for index, (opcode, in_ids, out_ids, fn) in enumerate(cc.ops):
+        xs = ["v%d" % i for i in in_ids]
+        o = "v%d" % out_ids[0]
+        if opcode == OP_AND:
+            lines.append("    %s = %s" % (o, " & ".join(xs)))
+        elif opcode == OP_OR:
+            lines.append("    %s = %s" % (o, " | ".join(xs)))
+        elif opcode == OP_NAND:
+            lines.append("    %s = M ^ (%s)" % (o, " & ".join(xs)))
+        elif opcode == OP_NOR:
+            lines.append("    %s = M ^ (%s)" % (o, " | ".join(xs)))
+        elif opcode == OP_XOR:
+            lines.append("    %s = %s" % (o, " ^ ".join(xs)))
+        elif opcode == OP_XNOR:
+            lines.append("    %s = M ^ (%s)" % (o, " ^ ".join(xs)))
+        elif opcode == OP_NOT:
+            lines.append("    %s = M ^ %s" % (o, xs[0]))
+        elif opcode == OP_BUF:
+            lines.append("    %s = %s" % (o, xs[0]))
+        elif opcode == OP_MUX:
+            s, w0, w1 = xs
+            lines.append("    %s = (%s & %s) | ((M ^ %s) & %s)" % (o, s, w1, s, w0))
+        elif opcode == OP_CONST0:
+            lines.append("    %s = 0" % o)
+        elif opcode == OP_CONST1:
+            lines.append("    %s = M" % o)
+        elif opcode == OP_JUNC:
+            for out in out_ids:
+                lines.append("    v%d = %s" % (out, xs[0]))
+        else:  # OP_GENERIC
+            helper = "_fn%d" % index
+            env[helper] = fn
+            lines.append(
+                "    %s = _gb(%s, (%s), M)"
+                % (
+                    "".join("v%d, " % out for out in out_ids),
+                    helper,
+                    "".join("%s, " % x for x in xs),
+                )
+            )
+    outs = "".join("v%d, " % i for i in cc.output_ids)
+    nxt = "".join("v%d, " % i for i in cc.latch_in_ids)
+    lines.append("    return (%s), (%s)" % (outs, nxt))
+    return "\n".join(lines) + "\n", env
+
+
+def _emit_ternary(cc: "CompiledCircuit") -> Tuple[str, Dict[str, Any]]:
+    """Generate the dual-rail ternary lane-mask step function.
+
+    ``_f(S, I, M)`` takes sequences of ``(can0, can1)`` rail pairs and
+    returns ``(output_rails, next_state_rails)``.
+    """
+    lines = ["def _f(S, I, M):"]
+    env: Dict[str, Any] = {"_gt": _generic_ternary}
+    for pin, net in enumerate(cc.input_ids):
+        lines.append("    a%d, b%d = I[%d]" % (net, net, pin))
+    for pos, net in enumerate(cc.latch_out_ids):
+        lines.append("    a%d, b%d = S[%d]" % (net, net, pos))
+
+    def rails(ids):
+        return ["a%d" % i for i in ids], ["b%d" % i for i in ids]
+
+    for index, (opcode, in_ids, out_ids, fn) in enumerate(cc.ops):
+        az, bz = rails(in_ids)
+        oa, ob = "a%d" % out_ids[0], "b%d" % out_ids[0]
+        if opcode in (OP_AND, OP_NAND):
+            can0, can1 = " | ".join(az), " & ".join(bz)
+            if opcode == OP_AND:
+                lines.append("    %s = %s; %s = %s" % (oa, can0, ob, can1))
+            else:
+                lines.append("    %s = %s; %s = %s" % (oa, can1, ob, can0))
+        elif opcode in (OP_OR, OP_NOR):
+            can0, can1 = " & ".join(az), " | ".join(bz)
+            if opcode == OP_OR:
+                lines.append("    %s = %s; %s = %s" % (oa, can0, ob, can1))
+            else:
+                lines.append("    %s = %s; %s = %s" % (oa, can1, ob, can0))
+        elif opcode in (OP_XOR, OP_XNOR):
+            lines.append("    %s = %s; %s = %s" % (oa, az[0], ob, bz[0]))
+            for a, b in zip(az[1:], bz[1:]):
+                lines.append(
+                    "    %s, %s = (%s & %s) | (%s & %s), (%s & %s) | (%s & %s)"
+                    % (oa, ob, oa, a, ob, b, oa, b, ob, a)
+                )
+            if opcode == OP_XNOR:
+                lines.append("    %s, %s = %s, %s" % (oa, ob, ob, oa))
+        elif opcode == OP_NOT:
+            lines.append("    %s = %s; %s = %s" % (oa, bz[0], ob, az[0]))
+        elif opcode == OP_BUF:
+            lines.append("    %s = %s; %s = %s" % (oa, az[0], ob, bz[0]))
+        elif opcode == OP_MUX:
+            (sa, w0a, w1a), (sb, w0b, w1b) = az, bz
+            lines.append(
+                "    %s = (%s & %s) | (%s & %s); %s = (%s & %s) | (%s & %s)"
+                % (oa, sb, w1a, sa, w0a, ob, sb, w1b, sa, w0b)
+            )
+        elif opcode == OP_CONST0:
+            lines.append("    %s = M; %s = 0" % (oa, ob))
+        elif opcode == OP_CONST1:
+            lines.append("    %s = 0; %s = M" % (oa, ob))
+        elif opcode == OP_JUNC:
+            for out in out_ids:
+                lines.append("    a%d = %s; b%d = %s" % (out, az[0], out, bz[0]))
+        else:  # OP_GENERIC
+            helper = "_fn%d" % index
+            env[helper] = fn
+            lines.append(
+                "    %s = _gt(%s, (%s), M)"
+                % (
+                    "".join("r%d_%d, " % (index, k) for k in range(len(out_ids))),
+                    helper,
+                    "".join("(a%d, b%d), " % (i, i) for i in in_ids),
+                )
+            )
+            for k, out in enumerate(out_ids):
+                lines.append("    a%d, b%d = r%d_%d" % (out, out, index, k))
+    outs = "".join("(a%d, b%d), " % (i, i) for i in cc.output_ids)
+    nxt = "".join("(a%d, b%d), " % (i, i) for i in cc.latch_in_ids)
+    lines.append("    return (%s), (%s)" % (outs, nxt))
+    return "\n".join(lines) + "\n", env
+
+
+# ---------------------------------------------------------------------------
+# The compiled circuit.
+# ---------------------------------------------------------------------------
+
+
+class CompiledCircuit:
+    """A circuit lowered to a flat, dense-id evaluation program.
+
+    Do not construct directly in normal use -- go through
+    :func:`compile_circuit`, which caches the result on the circuit and
+    participates in its mutation-invalidation contract.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.name = circuit.name
+        nets = circuit.nets()
+        self.net_names: Tuple[str, ...] = nets
+        self.net_index: Dict[str, int] = {net: i for i, net in enumerate(nets)}
+        self.num_nets = len(nets)
+
+        index = self.net_index
+        try:
+            self.input_ids: Tuple[int, ...] = tuple(index[n] for n in circuit.inputs)
+            self.latch_out_ids: Tuple[int, ...] = tuple(
+                index[latch.data_out] for latch in circuit.latches
+            )
+            self.latch_in_ids: Tuple[int, ...] = tuple(
+                index[latch.data_in] for latch in circuit.latches
+            )
+            self.output_ids: Tuple[int, ...] = tuple(index[n] for n in circuit.outputs)
+
+            cells = circuit._cells  # noqa: SLF001 - lowering is a sim.core peer
+            ops: List[Op] = []
+            for cell_name in circuit.topological_cells():
+                cell = cells[cell_name]
+                fn = cell.function
+                ops.append(
+                    (
+                        _FAMILY_TO_OP[fn.family],
+                        tuple(index[n] for n in cell.inputs),
+                        tuple(index[n] for n in cell.outputs),
+                        fn,
+                    )
+                )
+        except KeyError as exc:
+            raise CircuitError(
+                "cannot compile %s: net %s has no driver" % (circuit.name, exc)
+            )
+        self.ops: Tuple[Op, ...] = tuple(ops)
+        self.num_inputs = len(self.input_ids)
+        self.num_latches = len(self.latch_out_ids)
+        self.num_outputs = len(self.output_ids)
+
+        #: Structural identity of the program.  Two circuits with the
+        #: same signature evaluate identically, so their generated step
+        #: functions are interchangeable (the cell function itself only
+        #: matters for GENERIC ops, whose callable is baked in).
+        self.signature = (
+            self.num_nets,
+            self.input_ids,
+            self.latch_out_ids,
+            self.latch_in_ids,
+            self.output_ids,
+            tuple(
+                (opcode, in_ids, out_ids, fn if opcode == OP_GENERIC else None)
+                for opcode, in_ids, out_ids, fn in self.ops
+            ),
+        )
+        self._fn_binary: Optional[Callable] = None
+        self._fn_ternary: Optional[Callable] = None
+
+    # -- override plumbing -------------------------------------------------
+
+    def forced_binary(
+        self, overrides: Optional[Mapping[str, bool]]
+    ) -> Optional[Dict[int, bool]]:
+        """Translate a name-keyed stuck-at map to net ids (None if empty)."""
+        if not overrides:
+            return None
+        return {self.net_index[net]: bool(v) for net, v in overrides.items()}
+
+    def forced_ternary(
+        self, overrides: Optional[Mapping[str, T]]
+    ) -> Optional[Dict[int, T]]:
+        """Translate a name-keyed ternary stuck-at map to net ids."""
+        if not overrides:
+            return None
+        return {self.net_index[net]: v for net, v in overrides.items()}
+
+    # -- mask-level backends ----------------------------------------------
+
+    def step_binary_masks(
+        self,
+        state_masks: Sequence[int],
+        input_masks: Sequence[int],
+        all_lanes: int,
+        forced: Optional[Mapping[int, bool]] = None,
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """One binary cycle over lane masks: ``(outputs, next_state)``."""
+        if forced:
+            values = self._interpret_binary(state_masks, input_masks, all_lanes, forced)
+            return (
+                tuple(values[i] for i in self.output_ids),
+                tuple(values[i] for i in self.latch_in_ids),
+            )
+        fn = self._fn_binary
+        if fn is None:
+            fn = self._fn_binary = _memoised_fn(self, "b")
+        return fn(state_masks, input_masks, all_lanes)
+
+    def step_ternary_masks(
+        self,
+        state_rails: Sequence[Tuple[int, int]],
+        input_rails: Sequence[Tuple[int, int]],
+        all_lanes: int,
+        forced: Optional[Mapping[int, T]] = None,
+    ) -> Tuple[Tuple[Tuple[int, int], ...], Tuple[Tuple[int, int], ...]]:
+        """One dual-rail ternary cycle over lane masks."""
+        if forced:
+            rails = self._interpret_ternary(state_rails, input_rails, all_lanes, forced)
+            return (
+                tuple(rails[i] for i in self.output_ids),
+                tuple(rails[i] for i in self.latch_in_ids),
+            )
+        fn = self._fn_ternary
+        if fn is None:
+            fn = self._fn_ternary = _memoised_fn(self, "t")
+        return fn(state_rails, input_rails, all_lanes)
+
+    # -- scalar backends ---------------------------------------------------
+
+    def _check_arity(self, n_inputs: int, n_state: int) -> None:
+        if n_inputs != self.num_inputs:
+            raise ValueError(
+                "circuit %s has %d inputs, got %d values"
+                % (self.name, self.num_inputs, n_inputs)
+            )
+        if n_state != self.num_latches:
+            raise ValueError(
+                "circuit %s has %d latches, got state of length %d"
+                % (self.name, self.num_latches, n_state)
+            )
+
+    def step_binary(
+        self,
+        state: Sequence[bool],
+        inputs: Sequence[bool],
+        overrides: Optional[Mapping[str, bool]] = None,
+    ) -> Tuple[Tuple[bool, ...], Tuple[bool, ...]]:
+        """One scalar Boolean cycle: ``(outputs, next_state)``."""
+        self._check_arity(len(inputs), len(state))
+        S = [1 if v else 0 for v in state]
+        I = [1 if v else 0 for v in inputs]
+        outs, nxt = self.step_binary_masks(S, I, 1, self.forced_binary(overrides))
+        return tuple(bool(v) for v in outs), tuple(bool(v) for v in nxt)
+
+    def step_ternary(
+        self,
+        state: Sequence[T],
+        inputs: Sequence[T],
+        overrides: Optional[Mapping[str, T]] = None,
+    ) -> Tuple[Tuple[T, ...], Tuple[T, ...]]:
+        """One scalar conservative-ternary (CLS) cycle."""
+        self._check_arity(len(inputs), len(state))
+        S = [_RAIL_OF_T[v] for v in state]
+        I = [_RAIL_OF_T[v] for v in inputs]
+        outs, nxt = self.step_ternary_masks(S, I, 1, self.forced_ternary(overrides))
+        return (
+            tuple(_T_OF_RAIL[r] for r in outs),
+            tuple(_T_OF_RAIL[r] for r in nxt),
+        )
+
+    # -- flat-program interpreters (override-aware mirror of the codegen) --
+
+    def _interpret_binary(
+        self,
+        state_masks: Sequence[int],
+        input_masks: Sequence[int],
+        M: int,
+        forced: Mapping[int, bool],
+    ) -> List[int]:
+        values = [0] * self.num_nets
+        for pin, net in enumerate(self.input_ids):
+            values[net] = input_masks[pin]
+        for pos, net in enumerate(self.latch_out_ids):
+            values[net] = state_masks[pos]
+        for net, v in forced.items():
+            values[net] = M if v else 0
+        for opcode, in_ids, out_ids, fn in self.ops:
+            if opcode == OP_AND or opcode == OP_NAND:
+                r = M
+                for i in in_ids:
+                    r &= values[i]
+                outs = (M ^ r if opcode == OP_NAND else r,)
+            elif opcode == OP_OR or opcode == OP_NOR:
+                r = 0
+                for i in in_ids:
+                    r |= values[i]
+                outs = (M ^ r if opcode == OP_NOR else r,)
+            elif opcode == OP_XOR or opcode == OP_XNOR:
+                r = 0
+                for i in in_ids:
+                    r ^= values[i]
+                outs = (M ^ r if opcode == OP_XNOR else r,)
+            elif opcode == OP_NOT:
+                outs = (M ^ values[in_ids[0]],)
+            elif opcode == OP_BUF:
+                outs = (values[in_ids[0]],)
+            elif opcode == OP_MUX:
+                s, w0, w1 = (values[i] for i in in_ids)
+                outs = ((s & w1) | ((M ^ s) & w0),)
+            elif opcode == OP_CONST0:
+                outs = (0,)
+            elif opcode == OP_CONST1:
+                outs = (M,)
+            elif opcode == OP_JUNC:
+                outs = (values[in_ids[0]],) * len(out_ids)
+            else:
+                outs = _generic_binary(fn, [values[i] for i in in_ids], M)
+            for net, r in zip(out_ids, outs):
+                if net not in forced:
+                    values[net] = r
+        return values
+
+    def _interpret_ternary(
+        self,
+        state_rails: Sequence[Tuple[int, int]],
+        input_rails: Sequence[Tuple[int, int]],
+        M: int,
+        forced: Mapping[int, T],
+    ) -> List[Tuple[int, int]]:
+        rails: List[Tuple[int, int]] = [(0, 0)] * self.num_nets
+        for pin, net in enumerate(self.input_ids):
+            rails[net] = input_rails[pin]
+        for pos, net in enumerate(self.latch_out_ids):
+            rails[net] = state_rails[pos]
+        forced_rails = {
+            net: tuple(M if bit else 0 for bit in _RAIL_OF_T[v])
+            for net, v in forced.items()
+        }
+        for net, rail in forced_rails.items():
+            rails[net] = rail
+        for opcode, in_ids, out_ids, fn in self.ops:
+            if opcode == OP_AND or opcode == OP_NAND:
+                a, b = 0, M
+                for i in in_ids:
+                    ra, rb = rails[i]
+                    a |= ra
+                    b &= rb
+                outs = ((b, a) if opcode == OP_NAND else (a, b),)
+            elif opcode == OP_OR or opcode == OP_NOR:
+                a, b = M, 0
+                for i in in_ids:
+                    ra, rb = rails[i]
+                    a &= ra
+                    b |= rb
+                outs = ((b, a) if opcode == OP_NOR else (a, b),)
+            elif opcode == OP_XOR or opcode == OP_XNOR:
+                a, b = rails[in_ids[0]]
+                for i in in_ids[1:]:
+                    ra, rb = rails[i]
+                    a, b = (a & ra) | (b & rb), (a & rb) | (b & ra)
+                outs = ((b, a) if opcode == OP_XNOR else (a, b),)
+            elif opcode == OP_NOT:
+                a, b = rails[in_ids[0]]
+                outs = ((b, a),)
+            elif opcode == OP_BUF:
+                outs = (rails[in_ids[0]],)
+            elif opcode == OP_MUX:
+                (sa, sb), (w0a, w0b), (w1a, w1b) = (rails[i] for i in in_ids)
+                outs = (((sb & w1a) | (sa & w0a), (sb & w1b) | (sa & w0b)),)
+            elif opcode == OP_CONST0:
+                outs = ((M, 0),)
+            elif opcode == OP_CONST1:
+                outs = ((0, M),)
+            elif opcode == OP_JUNC:
+                outs = (rails[in_ids[0]],) * len(out_ids)
+            else:
+                outs = _generic_ternary(fn, [rails[i] for i in in_ids], M)
+            for net, rail in zip(out_ids, outs):
+                if net not in forced_rails:
+                    rails[net] = rail
+        return rails
+
+
+def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+    """The compiled program of *circuit*, cached on the circuit.
+
+    The cache lives in ``circuit._compiled_cache``, right next to the
+    topological-order cache, and is cleared by the same mutation hooks
+    (:meth:`Circuit._invalidate_caches`) -- so a compiled program can
+    never outlive the structure it was lowered from.
+    """
+    cached = circuit._compiled_cache  # noqa: SLF001 - by-design cache slot
+    if isinstance(cached, CompiledCircuit):
+        return cached
+    compiled = CompiledCircuit(circuit)
+    circuit._compiled_cache = compiled  # noqa: SLF001
+    return compiled

@@ -15,9 +15,12 @@ The only degrees of freedom are the value domain (``bool`` vs
 used for stuck-at fault injection (an overridden net takes the forced
 value no matter what its driver computes -- including source nets).
 
-:func:`propagate` implements step 1-2 generically and is reused by every
-scalar simulator; the batched numpy simulator in
-:mod:`repro.sim.multi` has its own vectorised core.
+:func:`propagate` implements step 1-2 generically.  Since the
+compile-once refactor it is the **reference interpreter**: production
+simulation runs through the flat-program core in
+:mod:`repro.sim.compiled` (select with ``backend="interpreted"`` on the
+scalar simulators to come back here), and the property tests
+cross-check every compiled backend against this function.
 """
 
 from __future__ import annotations

@@ -12,22 +12,28 @@ an unknown power-up state.  The paper shows it *can* distinguish a
 retimed circuit from the original (``0·0·1·0`` vs ``0·X·X·X`` for
 Figure 1's D and C), which is what makes the CLS result interesting.
 
-The implementation sweeps every power-up state with the batched numpy
-simulator, so it is exact up to :data:`DEFAULT_MAX_LATCHES` latches and
-falls back to random state sampling beyond (sampling keeps the verdict
-sound for ``X`` but may erroneously report a definite value; callers
-that need exactness pass ``sample=None`` and accept the latch limit).
+The implementation sweeps every power-up state with the compiled
+lane-mask core (:mod:`repro.sim.compiled`) -- one integer bitmask per
+net carries all ``2**n`` lanes, and the universal/existential verdict
+per output pin is a single mask comparison (``mask == all_lanes`` ->
+all ones, ``mask == 0`` -> all zeros, anything else -> ``X``).  It is
+exact up to :data:`DEFAULT_MAX_LATCHES` latches and falls back to
+random state sampling beyond (sampling keeps the verdict sound for
+``X`` but may erroneously report a definite value; callers that need
+exactness pass ``sample=None`` and accept the latch limit).
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..logic.ternary import ONE, T, X, ZERO, from_bool
+from ..logic.ternary import ONE, T, X, ZERO
 from ..netlist.circuit import Circuit
-from .multi import BatchedBinarySimulator, all_states_array
+from .compiled import column_to_mask, compile_circuit, mask_to_column
+from .multi import all_states_array
 
 __all__ = [
     "DEFAULT_MAX_LATCHES",
@@ -40,6 +46,18 @@ __all__ = [
 DEFAULT_MAX_LATCHES = 20
 
 TernaryVec = Tuple[T, ...]
+
+
+@lru_cache(maxsize=64)
+def _exhaustive_state_masks(num_latches: int) -> Tuple[int, ...]:
+    """Lane masks of the full power-up sweep, cached per latch count.
+
+    Column ``j`` of :func:`all_states_array` depends only on ``n``, so
+    every exhaustive :class:`ExactSimulator` over an ``n``-latch circuit
+    shares one packed copy.
+    """
+    lanes = all_states_array(num_latches)
+    return tuple(column_to_mask(lanes[:, j]) for j in range(num_latches))
 
 
 class ExactSimulator:
@@ -71,6 +89,7 @@ class ExactSimulator:
     ) -> None:
         self.circuit = circuit
         self.exhaustive = sample is None
+        self._states: Optional[np.ndarray] = None
         if self.exhaustive:
             if circuit.num_latches > max_latches:
                 raise ValueError(
@@ -78,13 +97,50 @@ class ExactSimulator:
                     "(pass sample=... to subsample)"
                     % (circuit.name, circuit.num_latches, max_latches)
                 )
-            self.states = all_states_array(circuit.num_latches)
         else:
             rng = np.random.default_rng(seed)
-            self.states = rng.integers(
+            self._states = rng.integers(
                 0, 2, size=(int(sample), circuit.num_latches)
             ).astype(bool)
-        self._sim = BatchedBinarySimulator(circuit, overrides=overrides)
+        self.overrides = dict(overrides) if overrides else {}
+
+    @property
+    def states(self) -> np.ndarray:
+        """The swept power-up states, one row per lane."""
+        if self._states is None:
+            self._states = all_states_array(self.circuit.num_latches)
+        return self._states
+
+    def _sweep(
+        self,
+        states: Optional[np.ndarray],
+        input_sequence: Iterable[Sequence[bool]],
+    ) -> Tuple[List[Tuple[int, ...]], Tuple[int, ...], int, int]:
+        """Run all lanes through the compiled core, staying in mask form."""
+        compiled = compile_circuit(self.circuit)
+        if states is None and self.exhaustive:
+            state_masks: Tuple[int, ...] = _exhaustive_state_masks(
+                self.circuit.num_latches
+            )
+            batch = 1 << self.circuit.num_latches
+        else:
+            lanes = np.asarray(
+                self.states if states is None else states, dtype=bool
+            )
+            batch = lanes.shape[0]
+            state_masks = tuple(
+                column_to_mask(lanes[:, j]) for j in range(lanes.shape[1])
+            )
+        all_lanes = (1 << batch) - 1
+        forced = compiled.forced_binary(self.overrides)
+        outputs_per_cycle: List[Tuple[int, ...]] = []
+        for vector in input_sequence:
+            input_masks = [all_lanes if bool(bit) else 0 for bit in vector]
+            out_masks, state_masks = compiled.step_binary_masks(
+                state_masks, input_masks, all_lanes, forced
+            )
+            outputs_per_cycle.append(out_masks)
+        return outputs_per_cycle, state_masks, all_lanes, batch
 
     def outputs(
         self, input_sequence: Iterable[Sequence[bool]], *, states: Optional[np.ndarray] = None
@@ -95,29 +151,25 @@ class ExactSimulator:
         a subset of power-up states -- the delayed-design analyses pass
         the reachable states of ``D^n`` here.
         """
-        lanes = self.states if states is None else np.asarray(states, dtype=bool)
-        per_cycle, _ = self._sim.run(lanes, input_sequence)
-        result: List[TernaryVec] = []
-        for outputs in per_cycle:
-            row: List[T] = []
-            for pin in range(outputs.shape[1]):
-                column = outputs[:, pin]
-                if column.all():
-                    row.append(ONE)
-                elif not column.any():
-                    row.append(ZERO)
-                else:
-                    row.append(X)
-            result.append(tuple(row))
-        return tuple(result)
+        per_cycle, _, all_lanes, _ = self._sweep(states, input_sequence)
+        return tuple(
+            tuple(
+                ONE if mask == all_lanes else (ZERO if mask == 0 else X)
+                for mask in out_masks
+            )
+            for out_masks in per_cycle
+        )
 
     def final_states(
         self, input_sequence: Iterable[Sequence[bool]], *, states: Optional[np.ndarray] = None
     ) -> np.ndarray:
         """The set of final states (as array rows, duplicates possible)."""
-        lanes = self.states if states is None else np.asarray(states, dtype=bool)
-        _, final = self._sim.run(lanes, input_sequence)
-        return final
+        _, final_masks, _, batch = self._sweep(states, input_sequence)
+        if not final_masks:
+            return np.zeros((batch, 0), dtype=bool)
+        return np.stack(
+            [mask_to_column(mask, batch) for mask in final_masks], axis=1
+        )
 
 
 def exact_outputs(

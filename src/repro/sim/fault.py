@@ -44,6 +44,7 @@ __all__ = [
     "StuckAtFault",
     "enumerate_faults",
     "faulty_overrides",
+    "good_outputs",
     "detects_exact",
     "detects_cls",
     "detection_time",
@@ -109,15 +110,38 @@ def _first_distinguishing(
     return TestEvaluation(False)
 
 
+def good_outputs(
+    circuit: Circuit,
+    test: Sequence[Sequence[bool]],
+    *,
+    semantics: str = "exact",
+    max_latches: int = 20,
+) -> Tuple[Tuple[T, ...], ...]:
+    """Fault-free reference outputs of *circuit* for *test*.
+
+    Fault grading compares every fault against the same fault-free run;
+    computing it once per test (instead of once per fault-test pair)
+    and passing it via the ``good=`` parameter of :func:`detects_exact`
+    / :func:`detects_cls` halves the simulation work of a grading sweep.
+    """
+    if semantics == "exact":
+        return ExactSimulator(circuit, max_latches=max_latches).outputs(test)
+    if semantics == "cls":
+        return tuple(TernarySimulator(circuit).run_from_unknown(test).outputs)
+    raise ValueError("semantics must be 'exact' or 'cls', not %r" % semantics)
+
+
 def detects_exact(
     circuit: Circuit,
     fault: StuckAtFault,
     test: Sequence[Sequence[bool]],
     *,
     max_latches: int = 20,
+    good: Optional[Sequence[Sequence[T]]] = None,
 ) -> TestEvaluation:
     """Exact-semantics detection verdict (all power-up states swept)."""
-    good = ExactSimulator(circuit, max_latches=max_latches).outputs(test)
+    if good is None:
+        good = good_outputs(circuit, test, semantics="exact", max_latches=max_latches)
     faulty_sim = ExactSimulator(
         circuit, max_latches=max_latches, overrides=faulty_overrides(fault)
     )
@@ -126,12 +150,16 @@ def detects_exact(
 
 
 def detects_cls(
-    circuit: Circuit, fault: StuckAtFault, test: Sequence[Sequence[T]]
+    circuit: Circuit,
+    fault: StuckAtFault,
+    test: Sequence[Sequence[T]],
+    *,
+    good: Optional[Sequence[Sequence[T]]] = None,
 ) -> TestEvaluation:
     """CLS-semantics detection verdict (both circuits started all-X)."""
-    good_sim = TernarySimulator(circuit)
+    if good is None:
+        good = good_outputs(circuit, test, semantics="cls")
     bad_sim = TernarySimulator(circuit, overrides=_ternary_overrides(fault))
-    good = good_sim.run_from_unknown(test).outputs
     bad = bad_sim.run_from_unknown(test).outputs
     return _first_distinguishing(good, bad)
 
@@ -172,10 +200,15 @@ class FaultSimulator:
         self.circuit = circuit
         self.semantics = semantics
 
-    def _detects(self, fault: StuckAtFault, test: Sequence[Sequence[bool]]) -> bool:
+    def _detects(
+        self,
+        fault: StuckAtFault,
+        test: Sequence[Sequence[bool]],
+        good: Optional[Sequence[Sequence[T]]] = None,
+    ) -> bool:
         if self.semantics == "exact":
-            return detects_exact(self.circuit, fault, test).detected
-        return detects_cls(self.circuit, fault, test).detected
+            return detects_exact(self.circuit, fault, test, good=good).detected
+        return detects_cls(self.circuit, fault, test, good=good).detected
 
     def run_test_set(
         self,
@@ -189,9 +222,10 @@ class FaultSimulator:
         verdicts: Dict[StuckAtFault, Optional[int]] = {f: None for f in fault_list}
         remaining = list(fault_list)
         for index, test in enumerate(tests):
+            good = good_outputs(self.circuit, test, semantics=self.semantics)
             still: List[StuckAtFault] = []
             for fault in remaining:
-                if self._detects(fault, test):
+                if self._detects(fault, test, good):
                     verdicts[fault] = index
                 else:
                     still.append(fault)

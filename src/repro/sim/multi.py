@@ -3,24 +3,24 @@
 The paper's hypothetical "sufficiently powerful simulator"
 (Section 2.1) reports a definite output value only when **every**
 power-up state agrees.  Computing that requires simulating all ``2**n``
-states; this module does so with numpy, one boolean array lane per
-state, so that the exact simulator in :mod:`repro.sim.exact` stays fast
-up to ~20 latches.
+states; this module runs them in lock-step, one lane per state.
 
-The vectorised evaluators are dispatched on the cell-function family
-(AND/OR/NAND/NOR/XOR/XNOR/NOT/BUF/MUX/CONST/JUNC); an unknown family
-falls back to per-lane scalar evaluation, which is slow but correct and
-keeps the simulator total over custom cells.
+Since the compile-once refactor this is a thin ndarray adapter over
+:mod:`repro.sim.compiled`: the state array is packed column-wise into
+integer lane masks (:func:`~repro.sim.compiled.column_to_mask`), one
+pass of the compiled program evaluates every lane, and the resulting
+masks are unpacked back into boolean arrays.  The duplicated
+name-keyed numpy walk this module used to carry is gone.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..logic.functions import CellFunction
 from ..netlist.circuit import Circuit
+from .compiled import column_to_mask, compile_circuit, mask_to_column
 
 __all__ = ["BatchedBinarySimulator", "all_states_array"]
 
@@ -44,47 +44,6 @@ def all_states_array(num_latches: int) -> np.ndarray:
     return np.stack(columns, axis=1)
 
 
-def _family(function: CellFunction) -> str:
-    return function.name.rstrip("0123456789")
-
-
-def _eval_vectorised(
-    function: CellFunction, inputs: List[np.ndarray], batch: int
-) -> List[np.ndarray]:
-    family = _family(function)
-    if family == "AND":
-        return [np.logical_and.reduce(inputs)]
-    if family == "OR":
-        return [np.logical_or.reduce(inputs)]
-    if family == "NAND":
-        return [~np.logical_and.reduce(inputs)]
-    if family == "NOR":
-        return [~np.logical_or.reduce(inputs)]
-    if family == "XOR":
-        return [np.logical_xor.reduce(inputs)]
-    if family == "XNOR":
-        return [~np.logical_xor.reduce(inputs)]
-    if family == "NOT":
-        return [~inputs[0]]
-    if family == "BUF":
-        return [inputs[0].copy()]
-    if family == "MUX":
-        select, when_zero, when_one = inputs
-        return [np.where(select, when_one, when_zero)]
-    if family == "CONST":
-        value = function.name.endswith("1")
-        return [np.full(batch, value, dtype=bool)]
-    if family == "JUNC":
-        return [inputs[0].copy() for _ in range(function.n_outputs)]
-    # Scalar fallback for exotic cells.
-    outputs = [np.empty(batch, dtype=bool) for _ in range(function.n_outputs)]
-    for lane in range(batch):
-        scalar_out = function.eval_binary(tuple(bool(col[lane]) for col in inputs))
-        for pin, value in enumerate(scalar_out):
-            outputs[pin][lane] = value
-    return outputs
-
-
 class BatchedBinarySimulator:
     """Simulate many Boolean power-up states in lock-step.
 
@@ -99,7 +58,6 @@ class BatchedBinarySimulator:
     ) -> None:
         self.circuit = circuit
         self.overrides = dict(overrides) if overrides else {}
-        self._topo = circuit.topological_cells()
 
     def step(
         self, states: np.ndarray, inputs: Sequence[bool]
@@ -108,6 +66,7 @@ class BatchedBinarySimulator:
         of shapes ``(batch, num_outputs)`` and ``(batch, num_latches)``.
         """
         circuit = self.circuit
+        states = np.asarray(states, dtype=bool)
         batch = states.shape[0]
         if states.shape[1] != circuit.num_latches:
             raise ValueError(
@@ -118,34 +77,23 @@ class BatchedBinarySimulator:
             raise ValueError(
                 "circuit has %d inputs, got %d" % (len(circuit.inputs), len(inputs))
             )
-
-        values: Dict[str, np.ndarray] = {}
-
-        def write(net: str, column: np.ndarray) -> None:
-            if net in self.overrides:
-                column = np.full(batch, self.overrides[net], dtype=bool)
-            values[net] = column
-
-        for net, bit in zip(circuit.inputs, inputs):
-            write(net, np.full(batch, bool(bit), dtype=bool))
-        for index, latch in enumerate(circuit.latches):
-            write(latch.data_out, states[:, index].copy())
-
-        for cell_name in self._topo:
-            cell = circuit.cell(cell_name)
-            in_cols = [values[n] for n in cell.inputs]
-            out_cols = _eval_vectorised(cell.function, in_cols, batch)
-            for net, column in zip(cell.outputs, out_cols):
-                write(net, column)
-
+        compiled = compile_circuit(circuit)
+        all_lanes = (1 << batch) - 1
+        state_masks = [
+            column_to_mask(states[:, j]) for j in range(circuit.num_latches)
+        ]
+        input_masks = [all_lanes if bool(bit) else 0 for bit in inputs]
+        out_masks, next_masks = compiled.step_binary_masks(
+            state_masks, input_masks, all_lanes, compiled.forced_binary(self.overrides)
+        )
         outputs = (
-            np.stack([values[n] for n in circuit.outputs], axis=1)
-            if circuit.outputs
+            np.stack([mask_to_column(m, batch) for m in out_masks], axis=1)
+            if out_masks
             else np.zeros((batch, 0), dtype=bool)
         )
         next_states = (
-            np.stack([values[latch.data_in] for latch in circuit.latches], axis=1)
-            if circuit.latches
+            np.stack([mask_to_column(m, batch) for m in next_masks], axis=1)
+            if next_masks
             else np.zeros((batch, 0), dtype=bool)
         )
         return outputs, next_states

@@ -22,16 +22,23 @@ Exactness per cell (agreement with
 :meth:`~repro.logic.functions.CellFunction.eval_ternary`) is verified
 lane-by-lane in the test-suite; exotic cells fall back to scalar
 evaluation per lane.
+
+Since the compile-once refactor the simulator itself delegates to the
+integer lane-mask core in :mod:`repro.sim.compiled` (same dual-rail
+algebra, one arbitrary-precision mask per rail instead of one ndarray);
+the per-cell helpers below remain as the executable specification of
+the encoding and keep the ndarray rail interface for callers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..logic.ternary import ONE, T, X, ZERO
 from ..netlist.circuit import Circuit
+from .compiled import column_to_mask, compile_circuit, mask_to_column
 
 __all__ = ["BatchedTernarySimulator", "encode_ternary", "decode_ternary"]
 
@@ -163,7 +170,6 @@ class BatchedTernarySimulator:
     ) -> None:
         self.circuit = circuit
         self.overrides = dict(overrides) if overrides else {}
-        self._topo = circuit.topological_cells()
 
     def step(
         self, state: List[Rail], inputs: List[Rail]
@@ -177,30 +183,20 @@ class BatchedTernarySimulator:
         batch = inputs[0][0].shape[0] if inputs else (
             state[0][0].shape[0] if state else 1
         )
-        values: Dict[str, Rail] = {}
+        compiled = compile_circuit(circuit)
+        all_lanes = (1 << batch) - 1
+        state_masks = [(column_to_mask(c0), column_to_mask(c1)) for c0, c1 in state]
+        input_masks = [(column_to_mask(c0), column_to_mask(c1)) for c0, c1 in inputs]
+        out_masks, next_masks = compiled.step_ternary_masks(
+            state_masks, input_masks, all_lanes, compiled.forced_ternary(self.overrides)
+        )
 
-        def write(net: str, rail: Rail) -> None:
-            if net in self.overrides:
-                forced = self.overrides[net]
-                rail = (
-                    np.full(batch, forced is not ONE, dtype=bool),
-                    np.full(batch, forced is not ZERO, dtype=bool),
-                )
-            values[net] = rail
+        def unpack(rails):
+            return [
+                (mask_to_column(a, batch), mask_to_column(b, batch)) for a, b in rails
+            ]
 
-        for net, rail in zip(circuit.inputs, inputs):
-            write(net, rail)
-        for latch, rail in zip(circuit.latches, state):
-            write(latch.data_out, rail)
-        for cell_name in self._topo:
-            cell = circuit.cell(cell_name)
-            in_rails = [values[n] for n in cell.inputs]
-            out_rails = _eval_cell(cell.function, in_rails, batch)
-            for net, rail in zip(cell.outputs, out_rails):
-                write(net, rail)
-        outputs = [values[n] for n in circuit.outputs]
-        next_state = [values[latch.data_in] for latch in circuit.latches]
-        return outputs, next_state
+        return unpack(out_masks), unpack(next_masks)
 
     def run_sequences(
         self, sequences: Sequence[Sequence[Sequence[T]]]
@@ -216,23 +212,37 @@ class BatchedTernarySimulator:
         if any(len(seq) != length for seq in sequences):
             raise ValueError("sequences must share one length")
 
-        state: List[Rail] = [
-            (np.ones(batch, dtype=bool), np.ones(batch, dtype=bool))
-            for _ in range(self.circuit.num_latches)
-        ]
-        per_cycle: List[List[Rail]] = []
+        compiled = compile_circuit(self.circuit)
+        all_lanes = (1 << batch) - 1
+        forced = compiled.forced_ternary(self.overrides)
+        state = [(all_lanes, all_lanes)] * compiled.num_latches  # all-X power-up
+        per_cycle = []
         for cycle in range(length):
-            inputs: List[Rail] = []
-            for pin in range(len(self.circuit.inputs)):
-                lane_values = [sequences[lane][cycle][pin] for lane in range(batch)]
-                inputs.append(encode_ternary(lane_values))
-            outputs, state = self.step(state, inputs)
+            inputs = []
+            for pin in range(compiled.num_inputs):
+                can0 = can1 = 0
+                for lane in range(batch):
+                    value = sequences[lane][cycle][pin]
+                    if value is not ONE:
+                        can0 |= 1 << lane
+                    if value is not ZERO:
+                        can1 |= 1 << lane
+                inputs.append((can0, can1))
+            outputs, state = compiled.step_ternary_masks(
+                state, inputs, all_lanes, forced
+            )
             per_cycle.append(outputs)
 
         results: List[List[Tuple[T, ...]]] = [[] for _ in range(batch)]
         for cycle in range(length):
             rails = per_cycle[cycle]
-            decoded_pins = [decode_ternary(rail) for rail in rails]
             for lane in range(batch):
-                results[lane].append(tuple(pin[lane] for pin in decoded_pins))
+                results[lane].append(
+                    tuple(
+                        X
+                        if (a >> lane & 1) and (b >> lane & 1)
+                        else (ONE if (b >> lane & 1) else ZERO)
+                        for a, b in rails
+                    )
+                )
         return results

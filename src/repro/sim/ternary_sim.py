@@ -25,6 +25,7 @@ from typing import Iterable, Mapping, Optional, Sequence, Tuple
 
 from ..logic.ternary import T, TernaryLike, X, to_ternary
 from ..netlist.circuit import Circuit
+from .compiled import compile_circuit, resolve_backend
 from .core import SimulationTrace, propagate
 
 __all__ = ["TernarySimulator", "all_x_state", "cls_outputs", "cls_resets", "TernaryVec"]
@@ -42,13 +43,22 @@ class TernarySimulator:
     overrides:
         Optional stuck-at forcing (net -> :class:`T`), used by the
         three-valued fault analyses of Section 4's testing discussion.
+    backend:
+        ``"compiled"`` (the default) evaluates through the flat program
+        of :mod:`repro.sim.compiled`; ``"interpreted"`` walks the
+        netlist with the reference :func:`~repro.sim.core.propagate`.
     """
 
     def __init__(
-        self, circuit: Circuit, overrides: Optional[Mapping[str, T]] = None
+        self,
+        circuit: Circuit,
+        overrides: Optional[Mapping[str, T]] = None,
+        *,
+        backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.overrides = dict(overrides) if overrides else {}
+        self.backend = resolve_backend(backend)
 
     def step(
         self, state: Sequence[TernaryLike], inputs: Sequence[TernaryLike]
@@ -56,6 +66,10 @@ class TernarySimulator:
         """One clock cycle: returns ``(outputs, next_state)``."""
         in_vec = tuple(to_ternary(v) for v in inputs)
         st_vec = tuple(to_ternary(v) for v in state)
+        if self.backend == "compiled":
+            return compile_circuit(self.circuit).step_ternary(
+                st_vec, in_vec, overrides=self.overrides or None
+            )
         values = propagate(
             self.circuit, in_vec, st_vec, ternary=True, overrides=self.overrides
         )

@@ -121,8 +121,8 @@ class STG:
 def extract_stg(circuit: Circuit, *, max_bits: int = MAX_STG_BITS) -> STG:
     """Tabulate the complete STG of *circuit* by exhaustive simulation.
 
-    Uses the batched numpy simulator: one pass per input symbol over all
-    ``2**n`` states.  Raises :class:`ValueError` when
+    Uses the batched simulator (one compiled lane-mask pass per input
+    symbol over all ``2**n`` states).  Raises :class:`ValueError` when
     ``latches + inputs`` exceeds *max_bits*.
     """
     n, m = circuit.num_latches, len(circuit.inputs)
@@ -150,9 +150,11 @@ def extract_stg(circuit: Circuit, *, max_bits: int = MAX_STG_BITS) -> STG:
         nxt_codes = np.zeros(num_states, dtype=np.int64)
         for bit in range(n):
             nxt_codes = (nxt_codes << 1) | nxt[:, bit].astype(np.int64)
+        nxt_list = nxt_codes.tolist()
+        out_list = out_codes.tolist()
         for s in range(num_states):
-            next_state[s][symbol] = int(nxt_codes[s])
-            output[s][symbol] = int(out_codes[s])
+            next_state[s][symbol] = nxt_list[s]
+            output[s][symbol] = out_list[s]
 
     return STG(
         num_latches=n,

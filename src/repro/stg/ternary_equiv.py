@@ -37,7 +37,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..logic.ternary import ONE, T, X, ZERO, format_ternary_sequence
 from ..netlist.circuit import Circuit
-from ..sim.ternary_sim import TernarySimulator, all_x_state
+from ..sim.compiled import compile_circuit
+from ..sim.ternary_sim import all_x_state
 
 __all__ = [
     "CLSDistinguisher",
@@ -113,8 +114,8 @@ def decide_cls_equivalence(
             % (len(c.outputs), len(d.outputs))
         )
 
-    sim_c = TernarySimulator(c)
-    sim_d = TernarySimulator(d)
+    sim_c = compile_circuit(c)
+    sim_d = compile_circuit(d)
     symbols = _ternary_symbols(len(c.inputs))
 
     start = (
@@ -139,8 +140,8 @@ def decide_cls_equivalence(
         node = queue.popleft()
         state_c, state_d = node
         for symbol in symbols:
-            out_c, next_c = sim_c.step(state_c, symbol)
-            out_d, next_d = sim_d.step(state_d, symbol)
+            out_c, next_c = sim_c.step_ternary(state_c, symbol)
+            out_d, next_d = sim_d.step_ternary(state_d, symbol)
             if out_c != out_d:
                 return CLSDistinguisher(
                     inputs=trail(node) + (symbol,),
@@ -170,8 +171,8 @@ def cls_reachable_pairs(
 ) -> int:
     """Number of reachable ternary state pairs of the product (a size
     diagnostic for the decision procedure)."""
-    sim_c = TernarySimulator(c)
-    sim_d = TernarySimulator(d)
+    sim_c = compile_circuit(c)
+    sim_d = compile_circuit(d)
     symbols = _ternary_symbols(len(c.inputs))
     start = (all_x_state(c), all_x_state(d))
     seen = {start}
@@ -179,8 +180,8 @@ def cls_reachable_pairs(
     while queue:
         state_c, state_d = queue.popleft()
         for symbol in symbols:
-            _, next_c = sim_c.step(state_c, symbol)
-            _, next_d = sim_d.step(state_d, symbol)
+            _, next_c = sim_c.step_ternary(state_c, symbol)
+            _, next_d = sim_d.step_ternary(state_d, symbol)
             child = (next_c, next_d)
             if child not in seen:
                 if len(seen) >= max_pairs:

@@ -1,0 +1,105 @@
+"""Structural mutations must invalidate both evaluation caches.
+
+The circuit object memoises two derived structures: the topological
+cell order (``_topo_cache``) and the lowered flat program
+(``_compiled_cache`` from :mod:`repro.sim.compiled`).  Every mutator
+must drop both, otherwise a simulator can silently keep evaluating a
+stale program after a retiming move or a netlist edit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.functions import AND, NOT, OR
+from repro.netlist.circuit import Cell, Circuit
+from repro.retime.engine import RetimingSession
+from repro.retime.moves import enabled_moves
+from repro.sim.compiled import compile_circuit
+from repro.sim.binary import BinarySimulator
+
+
+def small_circuit():
+    c = Circuit("cache_probe")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_cell("g1", AND, ("a", "b"), ("n1",))
+    c.add_latch("l1", "n1", "q1")
+    c.add_cell("g2", NOT, ("q1",), ("n2",))
+    c.add_output("n2")
+    return c
+
+
+def warm(circuit):
+    """Populate both caches and return their identities."""
+    circuit.topological_cells()
+    compile_circuit(circuit)
+    assert circuit._topo_cache is not None
+    assert circuit._compiled_cache is not None
+    return circuit._topo_cache, circuit._compiled_cache
+
+
+MUTATIONS = {
+    "add_input": lambda c: c.add_input("extra"),
+    "add_output": lambda c: c.add_output("n1"),
+    "add_cell": lambda c: c.add_cell("g3", OR, ("a", "n2"), ("n3",)),
+    "add_latch": lambda c: c.add_latch("l2", "n2", "q2"),
+    "remove_cell": lambda c: c.remove_cell("g2"),
+    "remove_latch": lambda c: c.remove_latch("l1"),
+    "replace_cell": lambda c: c.replace_cell(
+        "g1", Cell("g1", OR, ("a", "b"), ("n1",))
+    ),
+}
+
+
+@pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+def test_mutators_drop_both_caches(mutation):
+    c = small_circuit()
+    warm(c)
+    MUTATIONS[mutation](c)
+    assert c._topo_cache is None
+    assert c._compiled_cache is None
+
+
+def test_copy_shares_caches_without_aliasing_mutations():
+    c = small_circuit()
+    topo, compiled = warm(c)
+    d = c.copy()
+    # The copy reuses the already-computed caches ...
+    assert d._topo_cache is topo
+    assert d._compiled_cache is compiled
+    # ... but mutating the copy must not clobber the original's.
+    d.add_input("extra")
+    assert d._topo_cache is None and d._compiled_cache is None
+    assert c._topo_cache is topo and c._compiled_cache is compiled
+
+
+def test_recompile_after_mutation_reflects_new_logic():
+    c = small_circuit()
+    warm(c)
+    # AND(1, 1) -> latch -> NOT gives output 0 on the second cycle.
+    sim = BinarySimulator(c)
+    (_, state) = sim.step((False,), (True, True))
+    assert sim.step(state, (True, True))[0] == (False,)
+    c.replace_cell("g1", Cell("g1", OR, ("a", "b"), ("n1",)))
+    # Same pins, but the program changed; a stale cache would still
+    # produce the AND behaviour on (True, False).
+    sim = BinarySimulator(c)
+    (_, state) = sim.step((False,), (True, False))
+    assert state == (True,)  # OR(1, 0) latched, not AND(1, 0)
+
+
+def test_retiming_moves_invalidate_the_moved_circuit():
+    from repro.bench.paper_circuits import figure1_design_d
+
+    session = RetimingSession(figure1_design_d())
+    warm(session.current)
+    moves = enabled_moves(session.current)
+    assert moves
+    before = session.current
+    session.apply(moves[0])
+    # The engine works on copies, so the pre-move circuit keeps its
+    # caches while the post-move circuit gets a fresh lowering.
+    assert before._topo_cache is not None
+    fresh = compile_circuit(session.current)
+    assert session.current._compiled_cache is fresh
