@@ -1,0 +1,103 @@
+"""Parallel execution layer -- ``--jobs 1`` vs ``--jobs 4`` wall clock.
+
+Not a paper artefact: the paper's circuits are small enough that the
+serial compiled core regenerates every table in milliseconds.  This
+benchmark records what the process-pool layer (:mod:`repro.sim.parallel`)
+buys on the two workloads it shards -- fault-partitioned grading and
+power-up-lane-partitioned exact sweeps -- so downstream adopters with
+larger circuits know what to expect.
+
+The asserted contract is **determinism**, not speed: the sharded run
+must reproduce the serial verdicts bit for bit.  Wall-clock ratios are
+recorded but not asserted, because they are a property of the host (on
+a single-core container the pool is pure overhead; the artefact records
+the core count next to the numbers for exactly that reason).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.bench.generators import lfsr_circuit
+from repro.bench.iscas import BENCHMARKS
+from repro.netlist.io_bench import parse_bench
+from repro.netlist.transform import normalize_fanout
+from repro.sim.atpg import generate_tests
+from repro.sim.exact import ExactSimulator
+from repro.sim.fault import FaultSimulator
+
+JOBS = 4
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def parallel_speedup_report():
+    rows = []
+    checks = []
+
+    # Workload 1: fault-partitioned test-set grading on s27.
+    circuit = normalize_fanout(parse_bench(BENCHMARKS["s27"], name="s27"))
+    tests = generate_tests(circuit, max_attempts=40, max_length=8).tests
+    serial_sim = FaultSimulator(circuit)
+    sharded_sim = FaultSimulator(circuit, jobs=JOBS)
+    serial, t1 = _timed(lambda: serial_sim.run_test_set(tests))
+    sharded, tn = _timed(lambda: sharded_sim.run_test_set(tests))
+    checks.append(sharded == serial)
+    rows.append(
+        (
+            "fault grading, s27 (%d faults x %d tests)"
+            % (len(serial), len(tests)),
+            "%.3f" % t1,
+            "%.3f" % tn,
+            "%.2fx" % (t1 / tn if tn else float("inf")),
+        )
+    )
+
+    # Workload 2: exhaustive power-up sweep, 14 latches = 16384 lanes.
+    lfsr = lfsr_circuit([0, 3, 5, 7, 11, 13])
+    sequence = [((i * 5 + 3) % 7 < 3,) * len(lfsr.inputs) for i in range(8)]
+    serial_exact = ExactSimulator(lfsr)
+    sharded_exact = ExactSimulator(lfsr, jobs=JOBS)
+    out1, t1 = _timed(lambda: serial_exact.outputs(sequence))
+    outn, tn = _timed(lambda: sharded_exact.outputs(sequence))
+    checks.append(outn == out1)
+    checks.append(
+        np.array_equal(
+            sharded_exact.final_states(sequence), serial_exact.final_states(sequence)
+        )
+    )
+    rows.append(
+        (
+            "exact sweep, %d-latch LFSR (%d lanes x %d cycles)"
+            % (lfsr.num_latches, 2**lfsr.num_latches, len(sequence)),
+            "%.3f" % t1,
+            "%.3f" % tn,
+            "%.2fx" % (t1 / tn if tn else float("inf")),
+        )
+    )
+
+    table = ascii_table(
+        ("workload", "jobs=1 [s]", "jobs=%d [s]" % JOBS, "speedup"), rows
+    )
+    text = "%s\n%s\nhost: %s CPU core(s); determinism checks: %s" % (
+        banner("Process-pool layer: serial vs --jobs %d" % JOBS),
+        table,
+        os.cpu_count(),
+        "all identical" if all(checks) else "MISMATCH",
+    )
+    return text, checks
+
+
+def test_bench_parallel_speedup(record_artifact):
+    text, checks = parallel_speedup_report()
+    record_artifact("parallel_speedup", text)
+    # The hard requirement is bit-for-bit determinism, on any host.
+    assert all(checks)

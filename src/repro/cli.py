@@ -1,4 +1,15 @@
-"""Command-line interface: ``python -m repro <command> ...``.
+"""Command-line interface: ``python -m repro [options] <command> ...``.
+
+Global options (before the subcommand):
+
+``--backend {compiled,interpreted}``
+    simulator evaluation backend -- ``compiled`` (the flat-program
+    default) or ``interpreted`` (the reference netlist walk)
+``--jobs N``
+    worker processes for the parallelisable sweeps (fault grading,
+    exact power-up sweeps, CLS invariance and redundancy checks);
+    ``1`` (the default) is the bit-for-bit serial path, ``0`` means
+    "one per CPU core"
 
 Subcommands:
 
@@ -12,8 +23,10 @@ Subcommands:
 ``redundancy``  CLS-invariant redundancy removal (Section 6 program)
 ``paper``       replay the paper's Figure 1 story on the console
 
-All commands read and write ISCAS-89 ``.bench`` files, the format the
-benchmark circuits of the paper's era shipped in.
+All commands read and write ISCAS-89 ``.bench`` files (BLIF via the
+``.blif`` extension), the formats the benchmark circuits of the paper's
+era shipped in.  The full reference with worked examples is
+``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -36,6 +49,7 @@ from .sim.atpg import generate_tests
 from .sim.binary import BinarySimulator, parse_state
 from .sim.compiled import BACKENDS, set_default_backend
 from .sim.exact import exact_outputs
+from .sim.parallel import default_job_count, set_default_jobs
 from .sim.ternary_sim import TernarySimulator
 from .stg.explicit import extract_stg
 from .stg.scc import she_analysis
@@ -333,6 +347,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator evaluation backend: 'compiled' (flat-program, the "
         "default) or 'interpreted' (reference netlist walk)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for fault grading, exact sweeps and "
+        "equivalence checks; 1 (default) = serial, 0 = one per CPU core",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("info", help="circuit statistics and SHE analysis")
@@ -395,6 +417,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_default_backend(args.backend)
+    if args.jobs is not None:
+        if args.jobs < 0:
+            parser.error("--jobs must be >= 0")
+        set_default_jobs(default_job_count() if args.jobs == 0 else args.jobs)
     return args.func(args)
 
 

@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..netlist.circuit import Circuit
 from ..netlist.transform import rewire_readers, sweep_dangling
+from ..sim.parallel import resolve_jobs, run_sharded
 from ..stg.ternary_equiv import cls_equivalent_exhaustive
 
 __all__ = [
@@ -149,11 +150,55 @@ class RedundancyReport:
         )
 
 
+def _candidate_pairs(
+    current: Circuit, candidates: Optional[Sequence[str]]
+) -> List[Tuple[str, bool]]:
+    """The (net, constant) pairs one scan round tries, in serial order."""
+    nets = (
+        list(candidates)
+        if candidates is not None
+        else [net for cell in current.cells for net in cell.outputs]
+    )
+    pairs: List[Tuple[str, bool]] = []
+    for net in nets:
+        if not current.has_net(net):
+            continue
+        driver = current.driver_of(net)
+        if driver[0] == "cell" and current.cell(driver[1]).function.name.startswith(
+            "CONST"
+        ):
+            continue  # already constant
+        pairs.append((net, False))
+        pairs.append((net, True))
+    return pairs
+
+
+def _judge_candidates(payload, pairs):
+    """Worker task: accept/reject each (net, constant) substitution.
+
+    A pair is accepted when the substitution strictly shrinks the logic
+    *and* survives the exhaustive CLS-equivalence check -- the same two
+    gates the serial scan applies, in the same order.
+    """
+    current, max_pairs = payload
+    verdicts: List[bool] = []
+    for net, value in pairs:
+        candidate = substitute_constant(current, net, value)
+        if logic_size(candidate) >= logic_size(current):
+            verdicts.append(False)
+            continue
+        verdicts.append(
+            cls_equivalent_exhaustive(current, candidate, max_pairs=max_pairs)
+        )
+    return verdicts
+
+
 def remove_cls_redundancies(
     circuit: Circuit,
     *,
     candidates: Optional[Sequence[str]] = None,
     max_pairs: int = 50_000,
+    jobs: Optional[int] = None,
 ) -> RedundancyReport:
     """Greedy redundancy removal under the CLS-equivalence invariant.
 
@@ -162,6 +207,13 @@ def remove_cls_redundancies(
     scan restarts on the simplified circuit, so later candidates are
     judged in context.  Exact but exponential in the ternary product
     state space -- intended for the small circuits of this reproduction.
+
+    With ``jobs > 1`` each scan round judges its candidate pairs in
+    parallel worker processes and then applies the first accepted pair
+    in serial order, so the substitution sequence, the final circuit
+    and the report counters are identical to the serial run (parallel
+    rounds speculatively judge pairs the serial scan never reaches;
+    those verdicts are discarded, not counted).
     """
     report = RedundancyReport(
         circuit=circuit,
@@ -169,35 +221,38 @@ def remove_cls_redundancies(
         after=logic_size(circuit),
     )
     current = circuit
+    resolved = resolve_jobs(jobs)
     progress = True
     while progress:
         progress = False
-        nets = (
-            list(candidates)
-            if candidates is not None
-            else [net for cell in current.cells for net in cell.outputs]
-        )
-        for net in nets:
-            if not current.has_net(net):
-                continue
-            driver = current.driver_of(net)
-            if driver[0] == "cell" and current.cell(driver[1]).function.name.startswith(
-                "CONST"
-            ):
-                continue  # already constant
-            for value in (False, True):
+        pairs = _candidate_pairs(current, candidates)
+        if resolved > 1 and len(pairs) > 1:
+            accepted = run_sharded(
+                _judge_candidates,
+                (current, max_pairs),
+                pairs,
+                jobs=resolved,
+                label="redundancy-check",
+            )
+            for (net, value), ok in zip(pairs, accepted):
                 report.tested += 1
-                candidate = substitute_constant(current, net, value)
-                if logic_size(candidate) >= logic_size(current):
-                    # No simplification gained; skip the expensive check.
-                    # (Strict decrease also guarantees termination.)
-                    continue
-                if cls_equivalent_exhaustive(current, candidate, max_pairs=max_pairs):
-                    current = candidate
+                if ok:
+                    current = substitute_constant(current, net, value)
                     report.substitutions.append((net, value))
                     progress = True
                     break
-            if progress:
+            continue
+        for net, value in pairs:
+            report.tested += 1
+            candidate = substitute_constant(current, net, value)
+            if logic_size(candidate) >= logic_size(current):
+                # No simplification gained; skip the expensive check.
+                # (Strict decrease also guarantees termination.)
+                continue
+            if cls_equivalent_exhaustive(current, candidate, max_pairs=max_pairs):
+                current = candidate
+                report.substitutions.append((net, value))
+                progress = True
                 break
     report.circuit = current
     report.after = logic_size(current)

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..logic.ternary import ONE, T, X, ZERO
 from ..netlist.circuit import Circuit
+from ..sim.parallel import resolve_jobs, run_sharded
 from ..sim.ternary_sim import cls_outputs
 from ..stg.delayed import delay_needed_for_implication, delayed_implies
 from ..stg.equivalence import implies
@@ -73,20 +74,57 @@ def cls_equivalent(
     original: Circuit,
     retimed: Circuit,
     sequences: Optional[Sequence[Sequence[Sequence[T]]]] = None,
+    *,
+    jobs: Optional[int] = None,
     **kwargs,
 ) -> bool:
     """Check Corollary 5.3 on concrete sequences (default: random).
 
     Extra keyword arguments are forwarded to
-    :func:`random_ternary_sequences`.
+    :func:`random_ternary_sequences`.  ``jobs > 1`` shards the sequence
+    batch across worker processes (see :func:`first_cls_difference`).
     """
-    return first_cls_difference(original, retimed, sequences, **kwargs) is None
+    return first_cls_difference(original, retimed, sequences, jobs=jobs, **kwargs) is None
+
+
+def _first_difference_per_sequence(payload, sequences):
+    """Worker task: per sequence, the first differing cycle or ``None``.
+
+    The payload carries the circuit pair; each worker compares the CLS
+    outputs of its sequence shard independently.
+    """
+    original, retimed = payload
+    lengths = {len(seq) for seq in sequences}
+    if len(sequences) > 1 and len(lengths) == 1:
+        from ..sim.ternary_multi import BatchedTernarySimulator
+
+        outs = (
+            BatchedTernarySimulator(original).run_sequences(sequences),
+            BatchedTernarySimulator(retimed).run_sequences(sequences),
+        )
+        pairs = [zip(outs[0][i], outs[1][i]) for i in range(len(sequences))]
+    else:
+        pairs = [
+            zip(cls_outputs(original, seq), cls_outputs(retimed, seq))
+            for seq in sequences
+        ]
+    verdicts: List[Optional[int]] = []
+    for trace in pairs:
+        first: Optional[int] = None
+        for cycle, (va, vb) in enumerate(trace):
+            if va != vb:
+                first = cycle
+                break
+        verdicts.append(first)
+    return verdicts
 
 
 def first_cls_difference(
     original: Circuit,
     retimed: Circuit,
     sequences: Optional[Sequence[Sequence[Sequence[T]]]] = None,
+    *,
+    jobs: Optional[int] = None,
     **kwargs,
 ) -> Optional[Tuple[int, int]]:
     """The first (sequence index, cycle) where CLS outputs differ, or
@@ -94,12 +132,28 @@ def first_cls_difference(
 
     Equal-length sequence batches run through the batched dual-rail
     simulator (one compiled lane-mask pass per cycle for the whole
-    batch); ragged batches fall back to the scalar CLS.
+    batch); ragged batches fall back to the scalar CLS.  With
+    ``jobs > 1`` the sequences are sharded across worker processes and
+    every shard is checked; the reported difference is still the first
+    in input order, exactly as the serial scan finds it.
     """
     if sequences is None:
         sequences = random_ternary_sequences(len(original.inputs), **kwargs)
     sequences = list(sequences)
     if not sequences:
+        return None
+    resolved = resolve_jobs(jobs)
+    if resolved > 1 and len(sequences) > 1:
+        per_sequence = run_sharded(
+            _first_difference_per_sequence,
+            (original, retimed),
+            sequences,
+            jobs=resolved,
+            label="cls-invariance",
+        )
+        for index, cycle in enumerate(per_sequence):
+            if cycle is not None:
+                return index, cycle
         return None
     lengths = {len(seq) for seq in sequences}
     if len(lengths) == 1:

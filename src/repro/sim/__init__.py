@@ -6,6 +6,14 @@ interpreter the property tests cross-check against.
 """
 
 from .core import SimulationTrace, propagate  # noqa: F401
+from .parallel import (  # noqa: F401
+    ParallelStats,
+    default_job_count,
+    get_default_jobs,
+    resolve_jobs,
+    run_sharded,
+    set_default_jobs,
+)
 from .compiled import (  # noqa: F401
     BACKENDS,
     CompiledCircuit,

@@ -30,11 +30,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..netlist.circuit import Circuit
 from .fault import (
     StuckAtFault,
+    _first_detecting_index,
     detects_cls,
     detects_exact,
     enumerate_faults,
     good_outputs,
 )
+from .parallel import resolve_jobs, run_sharded
 
 __all__ = ["AtpgResult", "generate_tests", "grade_test_set"]
 
@@ -154,11 +156,41 @@ def grade_test_set(
     *,
     faults: Optional[Sequence[StuckAtFault]] = None,
     semantics: str = "exact",
+    jobs: Optional[int] = None,
 ) -> AtpgResult:
     """Grade an existing test set (e.g. one generated for the original
-    design, replayed on the retimed design)."""
+    design, replayed on the retimed design).
+
+    With ``jobs > 1`` (or a process-wide default from
+    :mod:`repro.sim.parallel`) the fault list is sharded across worker
+    processes, each receiving the circuit plus the fault-free reference
+    outputs computed once here; the merged :class:`AtpgResult` --
+    including the order of ``detected`` and ``undetected`` -- is
+    identical to the serial one.
+    """
     fault_list = list(faults) if faults is not None else list(enumerate_faults(circuit))
     result = AtpgResult(tests=list(tests), undetected=list(fault_list))
+    resolved = resolve_jobs(jobs)
+    if resolved > 1 and len(fault_list) > 1 and tests:
+        frozen = tuple(tuple(tuple(v) for v in test) for test in tests)
+        goods = tuple(good_outputs(circuit, test, semantics=semantics) for test in frozen)
+        first = run_sharded(
+            _first_detecting_index,
+            (circuit, frozen, goods, semantics),
+            fault_list,
+            jobs=resolved,
+            label="test-set-grading",
+        )
+        by_fault = dict(zip(fault_list, first))
+        # Re-play the serial bookkeeping so insertion orders match:
+        # detected fills per test index, fault-list order within each.
+        for index in range(len(tests)):
+            for fault in fault_list:
+                if by_fault[fault] == index:
+                    result.detected[fault] = index
+        result.undetected = [f for f in fault_list if by_fault[f] is None]
+        result.attempts = len(tests)
+        return result
     for index, test in enumerate(tests):
         vectors = tuple(tuple(v) for v in test)
         good = good_outputs(circuit, vectors, semantics=semantics)

@@ -458,6 +458,24 @@ class CompiledCircuit:
         self._fn_binary: Optional[Callable] = None
         self._fn_ternary: Optional[Callable] = None
 
+    # -- pickling ----------------------------------------------------------
+    #
+    # The parallel execution layer (:mod:`repro.sim.parallel`) ships
+    # compiled programs to worker processes.  The memoised step
+    # functions are ``exec``-generated code objects and cannot cross a
+    # process boundary; they are dropped on pickling and lazily
+    # regenerated in the worker on first use (a dict hit in the global
+    # ``_FN_CACHE`` for every program with the same signature).
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_fn_binary"] = None
+        state["_fn_ternary"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
     # -- override plumbing -------------------------------------------------
 
     def forced_binary(

@@ -21,6 +21,15 @@ exact up to :data:`DEFAULT_MAX_LATCHES` latches and falls back to
 random state sampling beyond (sampling keeps the verdict sound for
 ``X`` but may erroneously report a definite value; callers that need
 exactness pass ``sample=None`` and accept the latch limit).
+
+Large sweeps shard across worker processes: with ``jobs > 1`` the
+power-up lane space is partitioned into contiguous blocks, each worker
+sweeps its blocks independently (the universal/existential verdict
+distributes over any partition of the lanes), and the per-block
+verdicts are merged deterministically.  This is what makes exhaustive
+sweeps past the historical latch cap practical -- raise ``max_latches``
+and pass ``jobs`` -- while ``jobs=1`` keeps the original single-pass
+code path bit for bit.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from ..logic.ternary import ONE, T, X, ZERO
 from ..netlist.circuit import Circuit
 from .compiled import column_to_mask, compile_circuit, mask_to_column
 from .multi import all_states_array
+from .parallel import resolve_jobs, run_sharded
 
 __all__ = [
     "DEFAULT_MAX_LATCHES",
@@ -44,6 +54,10 @@ __all__ = [
 ]
 
 DEFAULT_MAX_LATCHES = 20
+
+#: Below this many power-up lanes a pool costs more than it saves and
+#: the parallel path quietly stays serial.
+PARALLEL_MIN_LANES = 128
 
 TernaryVec = Tuple[T, ...]
 
@@ -58,6 +72,55 @@ def _exhaustive_state_masks(num_latches: int) -> Tuple[int, ...]:
     """
     lanes = all_states_array(num_latches)
     return tuple(column_to_mask(lanes[:, j]) for j in range(num_latches))
+
+
+def _sweep_lane_block(payload, blocks):
+    """Worker task: sweep contiguous lane blocks of the power-up space.
+
+    *payload* is ``(circuit, overrides, input_sequence, states, n)``
+    where ``states`` is an explicit power-up row array or ``None`` for
+    exhaustive enumeration (block lanes are then generated locally from
+    the lane indices, so the full ``2**n`` array never crosses the
+    process boundary).  Per block, returns
+
+    ``(per_cycle_flags, final_state_masks, block_size)``
+
+    with ``per_cycle_flags[t][o] = (all_ones, all_zeros)`` for output
+    ``o`` at cycle ``t`` -- the two quantifier verdicts restricted to
+    this block, which is all the merge step needs.
+    """
+    circuit, overrides, sequence, states, num_latches = payload
+    compiled = compile_circuit(circuit)
+    forced = compiled.forced_binary(overrides)
+    results = []
+    for start, stop in blocks:
+        batch = stop - start
+        if states is None:
+            indices = np.arange(start, stop, dtype=np.int64)
+            lanes = (
+                np.stack(
+                    [
+                        ((indices >> (num_latches - 1 - bit)) & 1).astype(bool)
+                        for bit in range(num_latches)
+                    ],
+                    axis=1,
+                )
+                if num_latches
+                else np.zeros((batch, 0), dtype=bool)
+            )
+        else:
+            lanes = np.asarray(states[start:stop], dtype=bool)
+        state_masks = tuple(column_to_mask(lanes[:, j]) for j in range(lanes.shape[1]))
+        all_lanes = (1 << batch) - 1
+        flags = []
+        for vector in sequence:
+            input_masks = [all_lanes if bit else 0 for bit in vector]
+            out_masks, state_masks = compiled.step_binary_masks(
+                state_masks, input_masks, all_lanes, forced
+            )
+            flags.append(tuple((m == all_lanes, m == 0) for m in out_masks))
+        results.append((tuple(flags), tuple(state_masks), batch))
+    return results
 
 
 class ExactSimulator:
@@ -76,6 +139,12 @@ class ExactSimulator:
         under-approximation of disagreement (X never wrongly reported).
     overrides:
         Optional stuck-at forcing (net -> bool), for fault analyses.
+    jobs:
+        Worker processes for lane-partitioned sweeps (``None`` -> the
+        process default of :mod:`repro.sim.parallel`).  The lane space
+        is split into contiguous blocks and the per-block verdicts
+        merged; results are identical to the serial single-pass sweep.
+        Sweeps under :data:`PARALLEL_MIN_LANES` lanes stay serial.
     """
 
     def __init__(
@@ -86,6 +155,7 @@ class ExactSimulator:
         sample: Optional[int] = None,
         seed: int = 0,
         overrides=None,
+        jobs: Optional[int] = None,
     ) -> None:
         self.circuit = circuit
         self.exhaustive = sample is None
@@ -103,6 +173,7 @@ class ExactSimulator:
                 0, 2, size=(int(sample), circuit.num_latches)
             ).astype(bool)
         self.overrides = dict(overrides) if overrides else {}
+        self.jobs = jobs
 
     @property
     def states(self) -> np.ndarray:
@@ -142,6 +213,56 @@ class ExactSimulator:
             outputs_per_cycle.append(out_masks)
         return outputs_per_cycle, state_masks, all_lanes, batch
 
+    def _batch_size(self, states: Optional[np.ndarray]) -> int:
+        if states is not None:
+            return np.asarray(states).shape[0]
+        if self.exhaustive and self._states is None:
+            return 1 << self.circuit.num_latches
+        return self.states.shape[0]
+
+    def _sweep_parallel(
+        self,
+        states: Optional[np.ndarray],
+        input_sequence: Sequence[Sequence[bool]],
+        jobs: int,
+    ) -> List[Tuple]:
+        """Shard the lane space into blocks; per-block results in order."""
+        batch = self._batch_size(states)
+        if states is None and self.exhaustive and self._states is None:
+            explicit = None
+        else:
+            explicit = np.asarray(
+                self.states if states is None else states, dtype=bool
+            )
+        sequence = tuple(tuple(bool(b) for b in vec) for vec in input_sequence)
+        block_size = max(1, -(-batch // (jobs * 4)))
+        blocks = [
+            (start, min(start + block_size, batch))
+            for start in range(0, batch, block_size)
+        ]
+        payload = (
+            self.circuit,
+            self.overrides,
+            sequence,
+            explicit,
+            self.circuit.num_latches,
+        )
+        per_chunk = run_sharded(
+            _sweep_lane_block,
+            payload,
+            blocks,
+            jobs=jobs,
+            label="exact-sweep",
+        )
+        return per_chunk
+
+    def _use_parallel(self, states: Optional[np.ndarray]) -> int:
+        """The worker count to use, or 0 for the serial path."""
+        jobs = resolve_jobs(self.jobs)
+        if jobs > 1 and self._batch_size(states) >= PARALLEL_MIN_LANES:
+            return jobs
+        return 0
+
     def outputs(
         self, input_sequence: Iterable[Sequence[bool]], *, states: Optional[np.ndarray] = None
     ) -> Tuple[TernaryVec, ...]:
@@ -151,6 +272,23 @@ class ExactSimulator:
         a subset of power-up states -- the delayed-design analyses pass
         the reachable states of ``D^n`` here.
         """
+        jobs = self._use_parallel(states)
+        if jobs:
+            sequence = [tuple(vec) for vec in input_sequence]
+            blocks = self._sweep_parallel(states, sequence, jobs)
+            num_outputs = len(self.circuit.outputs)
+            verdicts = []
+            for t in range(len(sequence)):
+                row = []
+                for o in range(num_outputs):
+                    if all(flags[t][o][0] for flags, _, _ in blocks):
+                        row.append(ONE)
+                    elif all(flags[t][o][1] for flags, _, _ in blocks):
+                        row.append(ZERO)
+                    else:
+                        row.append(X)
+                verdicts.append(tuple(row))
+            return tuple(verdicts)
         per_cycle, _, all_lanes, _ = self._sweep(states, input_sequence)
         return tuple(
             tuple(
@@ -164,6 +302,22 @@ class ExactSimulator:
         self, input_sequence: Iterable[Sequence[bool]], *, states: Optional[np.ndarray] = None
     ) -> np.ndarray:
         """The set of final states (as array rows, duplicates possible)."""
+        jobs = self._use_parallel(states)
+        if jobs:
+            sequence = [tuple(vec) for vec in input_sequence]
+            blocks = self._sweep_parallel(states, sequence, jobs)
+            parts = []
+            for _, final_masks, batch in blocks:
+                if not final_masks:
+                    parts.append(np.zeros((batch, 0), dtype=bool))
+                else:
+                    parts.append(
+                        np.stack(
+                            [mask_to_column(mask, batch) for mask in final_masks],
+                            axis=1,
+                        )
+                    )
+            return np.concatenate(parts, axis=0)
         _, final_masks, _, batch = self._sweep(states, input_sequence)
         if not final_masks:
             return np.zeros((batch, 0), dtype=bool)

@@ -27,7 +27,12 @@ machinery those arguments run on:
       conservative, CLS-detection implies exact-detection; the converse
       fails, which is the price a 3-valued test methodology pays.
 
-* a small fault simulator with fault dropping for whole test sets.
+* a small fault simulator with fault dropping for whole test sets --
+  optionally fault-partitioned across worker processes
+  (:mod:`repro.sim.parallel`): each fault's verdict (the index of the
+  first detecting test) is independent of every other fault's, so the
+  fault list shards freely and the merged verdict map is bit-for-bit
+  the serial one.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..logic.ternary import ONE, T, X, ZERO, from_bool, is_definite
 from ..netlist.circuit import Circuit
 from .exact import ExactSimulator
+from .parallel import resolve_jobs, run_sharded
 from .ternary_sim import TernarySimulator, all_x_state
 
 __all__ = [
@@ -182,6 +188,33 @@ def detection_time(
     return verdict.time_step if verdict.detected else None
 
 
+#: Shared worker context for fault-partitioned grading: the circuit,
+#: the test set, the per-test fault-free reference outputs (computed
+#: once in the parent, shared by every worker) and the semantics.
+GradingPayload = Tuple[Circuit, Tuple[Tuple[Tuple[bool, ...], ...], ...], Tuple, str]
+
+
+def _first_detecting_index(
+    payload: GradingPayload, faults: Sequence[StuckAtFault]
+) -> List[Optional[int]]:
+    """Worker task: first detecting test index per fault (or ``None``).
+
+    Must stay a module-level function so :func:`repro.sim.parallel.run_sharded`
+    can pickle it by reference.
+    """
+    circuit, tests, goods, semantics = payload
+    detect = detects_exact if semantics == "exact" else detects_cls
+    verdicts: List[Optional[int]] = []
+    for fault in faults:
+        found: Optional[int] = None
+        for index, (test, good) in enumerate(zip(tests, goods)):
+            if detect(circuit, fault, test, good=good).detected:
+                found = index
+                break
+        verdicts.append(found)
+    return verdicts
+
+
 class FaultSimulator:
     """Evaluate test sets against fault lists, with fault dropping.
 
@@ -192,13 +225,25 @@ class FaultSimulator:
     semantics:
         ``"exact"`` (power-up sweep) or ``"cls"`` (conservative
         three-valued, all-X start).
+    jobs:
+        Worker processes for fault-partitioned grading (``None`` -> the
+        process default of :mod:`repro.sim.parallel`; ``1`` = serial).
+        The verdicts are identical either way -- each fault's first
+        detecting test does not depend on any other fault.
     """
 
-    def __init__(self, circuit: Circuit, *, semantics: str = "exact") -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        *,
+        semantics: str = "exact",
+        jobs: Optional[int] = None,
+    ) -> None:
         if semantics not in ("exact", "cls"):
             raise ValueError("semantics must be 'exact' or 'cls'")
         self.circuit = circuit
         self.semantics = semantics
+        self.jobs = jobs
 
     def _detects(
         self,
@@ -217,8 +262,36 @@ class FaultSimulator:
     ) -> Dict[StuckAtFault, Optional[int]]:
         """Map each fault to the index of the first detecting test
         (``None`` if the whole set misses it).  Detected faults are
-        dropped from later tests (classical fault dropping)."""
+        dropped from later tests (classical fault dropping).
+
+        With ``jobs > 1`` the fault list is sharded across worker
+        processes; the fault-free reference outputs are computed once
+        here and shipped to every worker, and per-fault dropping (stop
+        at the first detecting test) happens inside each shard.  The
+        returned map is identical to the serial one.
+        """
         fault_list = list(faults) if faults is not None else list(enumerate_faults(self.circuit))
+        jobs = resolve_jobs(self.jobs)
+        if jobs > 1 and len(fault_list) > 1:
+            frozen_tests = tuple(tuple(tuple(v) for v in test) for test in tests)
+            goods = tuple(
+                good_outputs(self.circuit, test, semantics=self.semantics)
+                for test in frozen_tests
+            )
+            payload: GradingPayload = (
+                self.circuit,
+                frozen_tests,
+                goods,
+                self.semantics,
+            )
+            first = run_sharded(
+                _first_detecting_index,
+                payload,
+                fault_list,
+                jobs=jobs,
+                label="fault-grading",
+            )
+            return dict(zip(fault_list, first))
         verdicts: Dict[StuckAtFault, Optional[int]] = {f: None for f in fault_list}
         remaining = list(fault_list)
         for index, test in enumerate(tests):

@@ -1,0 +1,320 @@
+"""Process-pool execution layer: shard embarrassingly parallel sweeps.
+
+The paper's headline experiments are embarrassingly parallel: fault
+grading evaluates every stuck-at fault against the same test set
+(Section 2.2, Table 1), the exact simulator sweeps ``2**n`` independent
+power-up states (Section 2.1), and the validity/redundancy checkers
+judge many independent candidates.  This module is the one place that
+knows how to split such work across CPU cores:
+
+* :func:`run_sharded` -- the single primitive everything else uses.  It
+  chunks an item list, ships one pickled *payload* (circuit, compiled
+  program, reference outputs, ...) to each worker process exactly once
+  via the pool initializer, applies a module-level *task* function to
+  each chunk, and reassembles the per-item results **in input order**,
+  so results are bit-for-bit identical to a serial run.
+* a process-wide default worker count (:func:`set_default_jobs`),
+  mirroring the backend registry of :mod:`repro.sim.compiled` and set
+  from the CLI's top-level ``--jobs`` flag.
+* chunk-size auto-tuning (:func:`auto_chunk_size`): about four chunks
+  per worker, balancing scheduling slack against IPC overhead.
+* graceful degradation: if the pool cannot start (restricted
+  environments, missing ``fork``/``spawn``, unpicklable payloads) the
+  work runs serially in-process and a :class:`ParallelStats` record
+  marks the fall-back -- callers never have to care.
+* lightweight instrumentation: every invocation publishes a
+  :class:`ParallelStats` to registered observers and keeps the most
+  recent record in :func:`last_stats`; the benchmark suite uses this to
+  report worker counts and chunk shapes next to its timings.
+
+Consumers: :class:`repro.sim.fault.FaultSimulator`,
+:func:`repro.sim.atpg.grade_test_set`,
+:class:`repro.sim.exact.ExactSimulator`,
+:func:`repro.retime.validity.cls_equivalent` and
+:func:`repro.optimize.redundancy.remove_cls_redundancies`.
+
+With ``jobs == 1`` (the default) no pool, no pickling and no extra
+process is involved: callers take their original serial code path, so
+the single-core behaviour of the library is exactly what it was before
+this layer existed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = [
+    "ParallelStats",
+    "add_observer",
+    "auto_chunk_size",
+    "default_job_count",
+    "get_default_jobs",
+    "last_stats",
+    "remove_observer",
+    "resolve_jobs",
+    "run_sharded",
+    "set_default_jobs",
+]
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+#: A task takes the shared payload and a chunk of items and returns one
+#: result per item, in order.  It must be a module-level callable so the
+#: pool can pickle it by reference.
+Task = Callable[[Any, List[Item]], Sequence[Result]]
+
+
+# ---------------------------------------------------------------------------
+# Worker-count registry (the CLI's --jobs escape hatch).
+# ---------------------------------------------------------------------------
+
+_default_jobs = 1
+
+
+def default_job_count() -> int:
+    """A sensible ``--jobs`` value for this machine (its CPU count)."""
+    return os.cpu_count() or 1
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the process-wide default worker count (``1`` = serial)."""
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1, got %d" % jobs)
+    global _default_jobs
+    _default_jobs = int(jobs)
+
+
+def get_default_jobs() -> int:
+    """The process-wide default worker count."""
+    return _default_jobs
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Resolve an explicit worker count (``None`` -> the default)."""
+    if jobs is None:
+        return _default_jobs
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1, got %d" % jobs)
+    return int(jobs)
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParallelStats:
+    """What one :func:`run_sharded` call did.
+
+    Attributes
+    ----------
+    label:
+        Caller-supplied name of the workload (e.g. ``"fault-grading"``).
+    jobs:
+        Worker count requested (after resolution).
+    items:
+        Number of work items.
+    chunks:
+        Number of chunks actually dispatched (0 for the serial path).
+    chunk_size:
+        Items per chunk (0 for the serial path).
+    elapsed:
+        Wall-clock seconds for the whole call, merging included.
+    fallback:
+        True when a pool was requested but could not be used and the
+        work ran serially in-process instead.
+    """
+
+    label: str
+    jobs: int
+    items: int
+    chunks: int
+    chunk_size: int
+    elapsed: float
+    fallback: bool
+
+    def summary(self) -> str:
+        mode = (
+            "serial"
+            if self.jobs <= 1
+            else ("serial-fallback" if self.fallback else "%d workers" % self.jobs)
+        )
+        return "%s: %d items, %d chunks (%s), %.3fs" % (
+            self.label,
+            self.items,
+            self.chunks,
+            mode,
+            self.elapsed,
+        )
+
+
+_observers: List[Callable[[ParallelStats], None]] = []
+_last_stats: Optional[ParallelStats] = None
+
+
+def add_observer(callback: Callable[[ParallelStats], None]) -> None:
+    """Register a callback receiving a :class:`ParallelStats` per call."""
+    _observers.append(callback)
+
+
+def remove_observer(callback: Callable[[ParallelStats], None]) -> None:
+    """Unregister a previously added observer (no-op if absent)."""
+    try:
+        _observers.remove(callback)
+    except ValueError:
+        pass
+
+
+def last_stats() -> Optional[ParallelStats]:
+    """The :class:`ParallelStats` of the most recent call, if any."""
+    return _last_stats
+
+
+def _publish(stats: ParallelStats) -> None:
+    global _last_stats
+    _last_stats = stats
+    for callback in list(_observers):
+        callback(stats)
+
+
+# ---------------------------------------------------------------------------
+# Chunking.
+# ---------------------------------------------------------------------------
+
+#: Target chunks per worker: enough slack that an unlucky chunk does not
+#: serialise the tail, few enough that per-chunk IPC stays negligible.
+CHUNKS_PER_WORKER = 4
+
+
+def auto_chunk_size(num_items: int, jobs: int) -> int:
+    """Chunk size putting ~:data:`CHUNKS_PER_WORKER` chunks on each worker."""
+    if num_items <= 0:
+        return 1
+    return max(1, -(-num_items // (max(1, jobs) * CHUNKS_PER_WORKER)))
+
+
+# ---------------------------------------------------------------------------
+# The pool plumbing.
+# ---------------------------------------------------------------------------
+
+#: The shared payload, unpickled once per worker process (not per chunk).
+_WORKER_PAYLOAD: Any = None
+
+
+def _init_worker(payload_bytes: bytes) -> None:
+    global _WORKER_PAYLOAD
+    # Workers never nest pools: whatever --jobs the parent was launched
+    # with, work arriving inside a worker runs serially.
+    set_default_jobs(1)
+    _WORKER_PAYLOAD = pickle.loads(payload_bytes)
+
+
+def _run_chunk(task_and_chunk):
+    task, chunk = task_and_chunk
+    return task(_WORKER_PAYLOAD, chunk)
+
+
+def _make_executor(jobs: int, payload_bytes: bytes) -> Executor:
+    """Build the worker pool.  Split out so tests can force failure."""
+    return ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_worker, initargs=(payload_bytes,)
+    )
+
+
+def run_sharded(
+    task: Task,
+    payload: Any,
+    items: Iterable[Item],
+    *,
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    label: str = "parallel",
+) -> List[Result]:
+    """Apply *task* to chunks of *items*, preserving per-item order.
+
+    Parameters
+    ----------
+    task:
+        Module-level callable ``task(payload, chunk) -> results`` with
+        exactly one result per chunk item, in chunk order.
+    payload:
+        Read-only shared context (circuit, reference outputs, ...).
+        Pickled once and delivered to each worker by the pool
+        initializer, never per chunk.
+    items:
+        The work items; sharding and merging keep their order, so the
+        returned list is identical to ``list(task(payload, items))``.
+    jobs:
+        Worker count (``None`` -> the process default).  ``1`` runs the
+        task in-process with no pool at all.
+    chunk_size:
+        Items per chunk (``None`` -> :func:`auto_chunk_size`).
+    label:
+        Workload name for :class:`ParallelStats`.
+    """
+    jobs = resolve_jobs(jobs)
+    work = list(items)
+    started = perf_counter()
+
+    def _serial(fallback: bool) -> List[Result]:
+        results = list(task(payload, work))
+        _publish(
+            ParallelStats(
+                label=label,
+                jobs=jobs,
+                items=len(work),
+                chunks=0,
+                chunk_size=0,
+                elapsed=perf_counter() - started,
+                fallback=fallback,
+            )
+        )
+        return results
+
+    if jobs <= 1 or len(work) <= 1:
+        return _serial(fallback=False)
+
+    size = chunk_size if chunk_size is not None else auto_chunk_size(len(work), jobs)
+    chunks = [work[i : i + size] for i in range(0, len(work), size)]
+    try:
+        payload_bytes = pickle.dumps(payload)
+        with _make_executor(min(jobs, len(chunks)), payload_bytes) as pool:
+            parts = list(pool.map(_run_chunk, [(task, chunk) for chunk in chunks]))
+    except Exception as exc:  # pool could not start or run -- degrade
+        warnings.warn(
+            "parallel %s with %d jobs unavailable (%s: %s); running serially"
+            % (label, jobs, type(exc).__name__, exc),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial(fallback=True)
+
+    results: List[Result] = []
+    for chunk, part in zip(chunks, parts):
+        part = list(part)
+        if len(part) != len(chunk):
+            raise RuntimeError(
+                "parallel task %r returned %d results for a chunk of %d items"
+                % (getattr(task, "__name__", task), len(part), len(chunk))
+            )
+        results.extend(part)
+    _publish(
+        ParallelStats(
+            label=label,
+            jobs=jobs,
+            items=len(work),
+            chunks=len(chunks),
+            chunk_size=size,
+            elapsed=perf_counter() - started,
+            fallback=False,
+        )
+    )
+    return results

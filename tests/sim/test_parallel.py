@@ -1,0 +1,315 @@
+"""Tests for the process-pool execution layer (:mod:`repro.sim.parallel`).
+
+The contract under test: with ``jobs > 1`` every parallel consumer
+produces **bit-for-bit** the serial result (verdict maps, orders,
+ternary outputs, state arrays, report counters), and when the pool
+cannot start the work silently degrades to the serial in-process path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.bench.generators import lfsr_circuit
+from repro.bench.iscas import BENCHMARKS
+from repro.bench.paper_circuits import (
+    TABLE1_INPUT_SEQUENCE,
+    figure1_design_c,
+    figure1_design_d,
+)
+from repro.netlist.io_bench import parse_bench
+from repro.netlist.transform import normalize_fanout
+from repro.optimize.redundancy import remove_cls_redundancies
+from repro.retime.validity import cls_equivalent, first_cls_difference
+from repro.sim import parallel
+from repro.sim.atpg import generate_tests, grade_test_set
+from repro.sim.exact import ExactSimulator
+from repro.sim.fault import FaultSimulator
+from repro.sim.parallel import (
+    ParallelStats,
+    auto_chunk_size,
+    get_default_jobs,
+    last_stats,
+    resolve_jobs,
+    run_sharded,
+    set_default_jobs,
+)
+
+
+def _s27():
+    return normalize_fanout(parse_bench(BENCHMARKS["s27"], name="s27"))
+
+
+def _doubler(payload, chunk):
+    return [payload * item for item in chunk]
+
+
+def _bad_task(payload, chunk):
+    return [0]  # wrong result count, regardless of chunk size
+
+
+# ---------------------------------------------------------------------------
+# The primitive.
+# ---------------------------------------------------------------------------
+
+
+class TestRunSharded:
+    def test_serial_path_used_for_jobs_1(self):
+        out = run_sharded(_doubler, 3, [1, 2, 3], jobs=1, label="t")
+        assert out == [3, 6, 9]
+        assert last_stats().chunks == 0 and not last_stats().fallback
+
+    def test_parallel_preserves_item_order(self):
+        items = list(range(37))
+        out = run_sharded(_doubler, 2, items, jobs=4, label="t")
+        assert out == [2 * i for i in items]
+        stats = last_stats()
+        assert stats.jobs == 4 and stats.chunks > 1 and not stats.fallback
+
+    def test_explicit_chunk_size(self):
+        out = run_sharded(_doubler, 1, list(range(10)), jobs=2, chunk_size=3)
+        assert out == list(range(10))
+        assert last_stats().chunk_size == 3 and last_stats().chunks == 4
+
+    def test_result_count_mismatch_raises(self):
+        with pytest.raises(RuntimeError, match="returned"):
+            run_sharded(_bad_task, None, [1, 2, 3, 4], jobs=2, chunk_size=2)
+
+    def test_auto_chunk_size(self):
+        assert auto_chunk_size(0, 4) == 1
+        assert auto_chunk_size(1, 4) == 1
+        assert auto_chunk_size(100, 4) == 7  # ceil(100 / 16)
+        assert auto_chunk_size(16, 4) == 1
+
+    def test_jobs_registry(self):
+        assert get_default_jobs() == 1
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(5) == 5
+        set_default_jobs(3)
+        try:
+            assert resolve_jobs(None) == 3
+        finally:
+            set_default_jobs(1)
+        with pytest.raises(ValueError):
+            set_default_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+    def test_observer_hook(self):
+        seen = []
+        parallel.add_observer(seen.append)
+        try:
+            run_sharded(_doubler, 1, [1, 2], jobs=1, label="observed")
+        finally:
+            parallel.remove_observer(seen.append)
+        assert len(seen) == 1
+        assert isinstance(seen[0], ParallelStats)
+        assert seen[0].label == "observed" and seen[0].items == 2
+        # Removing twice is a no-op.
+        parallel.remove_observer(seen.append)
+
+
+class TestFallback:
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        def broken(jobs, payload_bytes):
+            raise OSError("no processes in this sandbox")
+
+        monkeypatch.setattr(parallel, "_make_executor", broken)
+        with pytest.warns(RuntimeWarning, match="running serially"):
+            out = run_sharded(_doubler, 2, [1, 2, 3], jobs=4, label="t")
+        assert out == [2, 4, 6]
+        assert last_stats().fallback
+
+    def test_unpicklable_payload_falls_back(self):
+        payload = 2
+        with pytest.warns(RuntimeWarning, match="running serially"):
+            out = run_sharded(
+                _lambda_ref_task, (payload, lambda x: x), [1, 2], jobs=2
+            )
+        assert out == [2, 4]
+        assert last_stats().fallback
+
+    def test_fault_grading_survives_broken_pool(self, monkeypatch):
+        def broken(jobs, payload_bytes):
+            raise OSError("pool unavailable")
+
+        monkeypatch.setattr(parallel, "_make_executor", broken)
+        circuit = _s27()
+        tests = generate_tests(circuit, max_attempts=6, max_length=4).tests
+        serial = FaultSimulator(circuit).run_test_set(tests)
+        with pytest.warns(RuntimeWarning):
+            fallback = FaultSimulator(circuit, jobs=4).run_test_set(tests)
+        assert fallback == serial
+
+
+def _lambda_ref_task(payload, chunk):
+    value, _fn = payload
+    return [value * item for item in chunk]
+
+
+# ---------------------------------------------------------------------------
+# Determinism of the consumers: parallel == serial, bit for bit.
+# ---------------------------------------------------------------------------
+
+
+class TestFaultGradingDeterminism:
+    def test_run_test_set_identical_verdicts(self):
+        circuit = _s27()
+        tests = generate_tests(circuit, max_attempts=12, max_length=5).tests
+        assert tests
+        serial = FaultSimulator(circuit).run_test_set(tests)
+        for jobs in (2, 4):
+            sharded = FaultSimulator(circuit, jobs=jobs).run_test_set(tests)
+            assert sharded == serial
+            assert list(sharded) == list(serial)  # insertion order too
+
+    def test_run_test_set_cls_semantics(self):
+        circuit = _s27()
+        tests = generate_tests(
+            circuit, max_attempts=8, max_length=4, semantics="cls"
+        ).tests
+        serial = FaultSimulator(circuit, semantics="cls").run_test_set(tests)
+        sharded = FaultSimulator(circuit, semantics="cls", jobs=3).run_test_set(tests)
+        assert sharded == serial
+
+    def test_grade_test_set_identical_result(self):
+        circuit = _s27()
+        tests = generate_tests(circuit, max_attempts=12, max_length=5).tests
+        serial = grade_test_set(circuit, tests)
+        sharded = grade_test_set(circuit, tests, jobs=4)
+        assert sharded.detected == serial.detected
+        assert list(sharded.detected) == list(serial.detected)
+        assert sharded.undetected == serial.undetected
+        assert sharded.attempts == serial.attempts
+        assert sharded.coverage == serial.coverage
+
+    def test_paper_circuit_coverage_identical(self):
+        for circuit in (figure1_design_d(), figure1_design_c()):
+            tests = generate_tests(circuit, max_attempts=10, max_length=4).tests
+            serial = FaultSimulator(circuit).coverage(tests)
+            sharded = FaultSimulator(circuit, jobs=2).coverage(tests)
+            assert sharded == serial
+
+
+class TestExactSweepDeterminism:
+    def _sequences(self, circuit, length=6, seed=0):
+        rng = random.Random(seed)
+        width = len(circuit.inputs)
+        return [tuple(rng.random() < 0.5 for _ in range(width)) for _ in range(length)]
+
+    def test_exhaustive_outputs_and_final_states(self):
+        circuit = lfsr_circuit([0, 3, 5, 9])  # 10 latches -> 1024 lanes
+        seq = self._sequences(circuit)
+        serial = ExactSimulator(circuit)
+        sharded = ExactSimulator(circuit, jobs=4)
+        assert sharded.outputs(seq) == serial.outputs(seq)
+        assert np.array_equal(sharded.final_states(seq), serial.final_states(seq))
+
+    def test_sampled_and_explicit_states(self):
+        circuit = lfsr_circuit([0, 2, 4, 7])
+        seq = self._sequences(circuit, seed=1)
+        serial = ExactSimulator(circuit, sample=400, seed=7)
+        sharded = ExactSimulator(circuit, sample=400, seed=7, jobs=3)
+        assert sharded.outputs(seq) == serial.outputs(seq)
+        states = np.array(
+            [[bool((i >> j) & 1) for j in range(circuit.num_latches)] for i in range(200)]
+        )
+        assert ExactSimulator(circuit, jobs=2).outputs(seq, states=states) == (
+            ExactSimulator(circuit).outputs(seq, states=states)
+        )
+
+    def test_small_sweeps_stay_serial(self):
+        # Figure 1's D has one latch; 2 lanes is under the parallel floor.
+        d = figure1_design_d()
+        sim = ExactSimulator(d, jobs=4)
+        seq = [(bool(v[0]),) for v in TABLE1_INPUT_SEQUENCE]
+        assert sim._use_parallel(None) == 0
+        assert sim.outputs(seq) == ExactSimulator(d).outputs(seq)
+
+
+class TestValidityAndRedundancyDeterminism:
+    def test_cls_equivalent_parallel(self):
+        d, c = figure1_design_d(), figure1_design_c()
+        assert cls_equivalent(d, c, count=10, length=8, jobs=3)
+        assert cls_equivalent(d, c, count=10, length=8) == cls_equivalent(
+            d, c, count=10, length=8, jobs=3
+        )
+
+    def test_first_cls_difference_locates_same_witness(self):
+        # An inverted copy differs on every sequence from cycle 0 or later;
+        # the parallel scan must report the same first witness.
+        d = figure1_design_d()
+        from repro.retime.validity import random_ternary_sequences
+
+        sequences = random_ternary_sequences(len(d.inputs), count=9, length=7, seed=4)
+        from repro.netlist.circuit import Cell
+        from repro.logic.functions import make_gate
+
+        broken = figure1_design_d().copy()
+        # Flip the gate driving the primary output: AND -> NAND.
+        for cell in broken.cells:
+            if broken.outputs[0] in cell.outputs:
+                broken.replace_cell(
+                    cell.name,
+                    Cell(
+                        cell.name,
+                        make_gate("NAND", cell.function.n_inputs),
+                        cell.inputs,
+                        cell.outputs,
+                    ),
+                )
+                break
+        serial = first_cls_difference(d, broken, sequences)
+        sharded = first_cls_difference(d, broken, sequences, jobs=3)
+        assert serial is not None
+        assert sharded == serial
+
+    def test_redundancy_removal_identical_report(self):
+        serial = remove_cls_redundancies(figure1_design_c())
+        sharded = remove_cls_redundancies(figure1_design_c(), jobs=3)
+        assert sharded.substitutions == serial.substitutions
+        assert sharded.tested == serial.tested
+        assert sharded.before == serial.before
+        assert sharded.after == serial.after
+
+
+# ---------------------------------------------------------------------------
+# Pickling support underneath the layer.
+# ---------------------------------------------------------------------------
+
+
+class TestPickling:
+    def test_circuit_round_trip(self):
+        import pickle
+
+        circuit = _s27()
+        clone = pickle.loads(pickle.dumps(circuit))
+        assert clone.nets() == circuit.nets()
+        assert [c.name for c in clone.cells] == [c.name for c in circuit.cells]
+
+    def test_compiled_program_round_trip_drops_codegen(self):
+        import pickle
+
+        from repro.sim.compiled import compile_circuit
+
+        circuit = figure1_design_d()
+        compiled = compile_circuit(circuit)
+        compiled.step_binary((False,), (True,))  # force codegen
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone._fn_binary is None  # dropped, regenerated lazily
+        assert clone.signature == compiled.signature
+        assert clone.step_binary((False,), (True,)) == compiled.step_binary(
+            (False,), (True,)
+        )
+
+    def test_library_cell_functions_pickle_to_singletons(self):
+        import pickle
+
+        from repro.logic.functions import get_function, junction, make_gate
+
+        for fn in (make_gate("AND", 3), junction(4), make_gate("CONST0", 0)):
+            clone = pickle.loads(pickle.dumps(fn))
+            assert clone is get_function(fn.name)

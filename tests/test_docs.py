@@ -1,0 +1,64 @@
+"""The documentation is executable — and stays that way.
+
+Every markdown file with ``>>>`` prompts doubles as a doctest (CI also
+runs ``pytest --doctest-glob='*.md' README.md docs``); this module pins
+the same contract inside the tier-1 suite, plus the cross-links the
+docs promise each other.
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+DOCTESTED = ["README.md", "docs/ARCHITECTURE.md", "docs/CLI.md"]
+
+
+@pytest.mark.parametrize("relpath", DOCTESTED)
+def test_markdown_doctests_pass(relpath):
+    failures, tested = doctest.testfile(
+        str(ROOT / relpath), module_relative=False, verbose=False
+    )
+    assert tested > 0, "%s lost its executable snippets" % relpath
+    assert failures == 0
+
+
+def test_theory_md_has_no_broken_doctests():
+    # THEORY.md is prose; if snippets are ever added they must pass.
+    failures, _ = doctest.testfile(
+        str(ROOT / "docs" / "THEORY.md"), module_relative=False, verbose=False
+    )
+    assert failures == 0
+
+
+def test_readme_links_the_docs():
+    readme = (ROOT / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/CLI.md" in readme
+
+
+def test_design_links_architecture():
+    assert "docs/ARCHITECTURE.md" in (ROOT / "DESIGN.md").read_text()
+
+
+def test_theory_maps_experiments_to_artefacts():
+    theory = (ROOT / "docs" / "THEORY.md").read_text()
+    assert "Performance model" in theory
+    for artefact in (
+        "results/table1.txt",
+        "results/exact_simulator.txt",
+        "parallel_speedup.txt",
+        "compiled_core_speedup.txt",
+    ):
+        assert artefact in theory, "THEORY.md no longer maps %s" % artefact
+
+
+def test_cli_docstring_mentions_reference():
+    import repro.cli
+
+    assert "docs/CLI.md" in repro.cli.__doc__
+    assert "--jobs" in repro.cli.__doc__ and "--backend" in repro.cli.__doc__
