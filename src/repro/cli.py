@@ -10,6 +10,12 @@ Global options (before the subcommand):
     exact power-up sweeps, CLS invariance and redundancy checks);
     ``1`` (the default) is the bit-for-bit serial path, ``0`` means
     "one per CPU core"
+``--trace``
+    enable the observability layer (:mod:`repro.obs`) for the run and
+    print the span/counter summary to stderr on exit
+``--report FILE.json``
+    enable the observability layer and write the full
+    :class:`~repro.obs.RunReport` as JSON to FILE
 
 Subcommands:
 
@@ -22,6 +28,9 @@ Subcommands:
 ``atpg``        generate a stuck-at test set
 ``redundancy``  CLS-invariant redundancy removal (Section 6 program)
 ``paper``       replay the paper's Figure 1 story on the console
+``bench``       run a standard compile/simulate/retime/fault workload
+                with tracing always on (the before/after artefact for
+                performance work; pair with ``--report``)
 
 All commands read and write ISCAS-89 ``.bench`` files (BLIF via the
 ``.blif`` extension), the formats the benchmark circuits of the paper's
@@ -35,6 +44,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from . import obs
 from .analysis.reporting import ascii_table, banner
 from .logic.ternary import format_ternary_sequence, parse_ternary_string, to_ternary
 from .netlist.io_bench import parse_bench, write_bench
@@ -310,6 +320,68 @@ def cmd_atpg(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """The standard instrumented workload: compile, simulate, retime,
+    fault-grade one circuit.  ``main`` turns tracing on for this command
+    unconditionally, so each phase below lands in the report; perf PRs
+    diff the ``--report`` JSON of two checkouts."""
+    import random as random_mod
+
+    from .bench.generators import random_sequential_circuit
+    from .retime.apply import lag_to_moves
+    from .sim.compiled import compile_circuit
+    from .sim.fault import FaultSimulator
+
+    if args.circuit:
+        circuit = _load(args.circuit)
+    else:
+        circuit = random_sequential_circuit(
+            args.seed, num_inputs=3, num_gates=24, num_latches=5, name="bench-rnd"
+        )
+    rng = random_mod.Random(args.seed)
+    width = len(circuit.inputs)
+    print(banner("bench workload on %s" % circuit.name))
+
+    with obs.span("compile"):
+        compiled = compile_circuit(circuit)
+    print("compile:       %d ops, %d latches" % (len(compiled.ops), circuit.num_latches))
+
+    with obs.span("simulate"):
+        tests = [
+            tuple(
+                tuple(rng.random() < 0.5 for _ in range(width))
+                for _ in range(args.cycles)
+            )
+            for _ in range(args.tests)
+        ]
+        cls_trace = TernarySimulator(circuit).run_from_unknown(tests[0])
+        exact = exact_outputs(circuit, tests[0])
+    print(
+        "simulate:      %d cycles CLS + exact sweep of %d power-up states"
+        % (len(cls_trace), 1 << circuit.num_latches)
+    )
+
+    with obs.span("retime"):
+        graph = build_retiming_graph(circuit)
+        minp = min_period_retiming(graph)
+        session = lag_to_moves(circuit, minp.lag)
+    print(
+        "retime:        period %d -> %d in %d moves"
+        % (minp.original_period, minp.period, len(session.history))
+    )
+
+    with obs.span("fault-grading"):
+        simulator = FaultSimulator(circuit, semantics="cls")
+        verdicts = simulator.run_test_set(tests)
+    detected = sum(1 for v in verdicts.values() if v is not None)
+    print(
+        "fault-grading: %d/%d faults detected by %d random tests"
+        % (detected, len(verdicts), len(tests))
+    )
+    del exact
+    return 0
+
+
 def cmd_paper(args: argparse.Namespace) -> int:
     from .bench.paper_circuits import TABLE1_INPUT_SEQUENCE, figure1_design_c, figure1_design_d
     from .sim.ternary_sim import cls_outputs
@@ -354,6 +426,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for fault grading, exact sweeps and "
         "equivalence checks; 1 (default) = serial, 0 = one per CPU core",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans/counters for the run and print the summary "
+        "to stderr on exit",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE.json",
+        default=None,
+        help="record spans/counters for the run and write the JSON "
+        "RunReport here",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -409,6 +494,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("paper", help="replay the paper's Figure 1 story")
     p.set_defaults(func=cmd_paper)
 
+    p = sub.add_parser(
+        "bench",
+        help="run the standard instrumented workload (tracing always on)",
+    )
+    p.add_argument(
+        "circuit",
+        nargs="?",
+        default=None,
+        help="circuit to exercise (default: a built-in random circuit)",
+    )
+    p.add_argument("--cycles", type=int, default=16, help="cycles per test sequence")
+    p.add_argument("--tests", type=int, default=4, help="random test sequences")
+    p.add_argument("--seed", type=int, default=0)
+    # Convenience copies of the global flags, so `repro bench --report
+    # out.json` works without flag-before-subcommand gymnastics.
+    # SUPPRESS keeps an omitted copy from clobbering the global value.
+    p.add_argument("--trace", action="store_true", default=argparse.SUPPRESS)
+    p.add_argument("--report", metavar="FILE.json", default=argparse.SUPPRESS)
+    p.set_defaults(func=cmd_bench)
+
     return parser
 
 
@@ -421,7 +526,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.jobs < 0:
             parser.error("--jobs must be >= 0")
         set_default_jobs(default_job_count() if args.jobs == 0 else args.jobs)
-    return args.func(args)
+
+    trace = bool(getattr(args, "trace", False))
+    report_path = getattr(args, "report", None)
+    # `bench` exists to produce a report, so it always records.
+    observe = trace or report_path is not None or args.command == "bench"
+    if observe:
+        obs.reset()
+        obs.enable(command=args.command)
+    try:
+        status = args.func(args)
+    finally:
+        if observe:
+            obs.disable()
+    if observe:
+        run_report = obs.report()
+        if report_path:
+            run_report.write(report_path)
+            print("wrote %s" % report_path, file=sys.stderr)
+        if trace:
+            print(run_report.summary(), file=sys.stderr)
+        elif args.command == "bench" and not report_path:
+            print(run_report.summary())
+        obs.reset()
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,6 +32,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..netlist.circuit import Circuit
 from ..netlist.transform import rewire_readers, sweep_dangling
+from ..obs.trace import TRACER as _TRACE
+from ..obs.trace import traced as _traced
 from ..sim.parallel import resolve_jobs, run_sharded
 from ..stg.ternary_equiv import cls_equivalent_exhaustive
 
@@ -193,6 +195,7 @@ def _judge_candidates(payload, pairs):
     return verdicts
 
 
+@_traced("optimize.redundancy")
 def remove_cls_redundancies(
     circuit: Circuit,
     *,
@@ -256,4 +259,7 @@ def remove_cls_redundancies(
                 break
     report.circuit = current
     report.after = logic_size(current)
+    if _TRACE.enabled:
+        _TRACE.incr("optimize.redundancy.tested", report.tested)
+        _TRACE.incr("optimize.redundancy.accepted", len(report.substitutions))
     return report

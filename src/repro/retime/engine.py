@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.circuit import Circuit
+from ..obs.trace import TRACER as _TRACE
+from ..obs.trace import span as _span
 from .moves import (
     Direction,
     MoveKind,
@@ -74,8 +76,24 @@ class RetimingSession:
 
     def apply(self, move: RetimingMove) -> Circuit:
         """Apply one move; returns the new current circuit."""
-        kind = classify_move(self.current, move)
-        self.current = apply_move(self.current, move)
+        with _span("retime.move"):
+            kind = classify_move(self.current, move)
+            self.current = apply_move(self.current, move)
+        if _TRACE.enabled:
+            counters = _TRACE.counters
+            counters["retime.moves.applied"] = (
+                counters.get("retime.moves.applied", 0) + 1
+            )
+            direction_key = (
+                "retime.moves.forward"
+                if move.direction is Direction.FORWARD
+                else "retime.moves.backward"
+            )
+            counters[direction_key] = counters.get(direction_key, 0) + 1
+            if kind is MoveKind.FORWARD_NON_JUSTIFIABLE:
+                counters["retime.moves.hazardous"] = (
+                    counters.get("retime.moves.hazardous", 0) + 1
+                )
         self.history.append(AppliedMove(move, kind))
         delta = 1 if move.direction is Direction.FORWARD else -1
         net = self._net_forward.get(move.element, 0) + delta

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..obs.trace import traced as _traced
 from .graph import HOST, HOST_OUT, HOST_VERTICES, RetimingEdge, RetimingGraph
 
 __all__ = ["WDMatrices", "compute_wd", "feas", "min_period_retiming", "MinPeriodResult"]
@@ -158,6 +159,7 @@ class MinPeriodResult:
         return self.period < self.original_period
 
 
+@_traced("retime.min_period")
 def min_period_retiming(graph: RetimingGraph) -> MinPeriodResult:
     """Binary-search the candidate periods for the minimum feasible one.
 

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 from scipy.optimize import linprog
 
+from ..obs.trace import traced as _traced
 from .graph import HOST, HOST_OUT, HOST_VERTICES, RetimingGraph
 from .leiserson_saxe import compute_wd
 
@@ -51,6 +52,7 @@ class MinAreaResult:
         return self.original_registers - self.registers
 
 
+@_traced("retime.min_area")
 def min_area_retiming(
     graph: RetimingGraph, *, period: Optional[int] = None
 ) -> MinAreaResult:

@@ -26,6 +26,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..logic.ternary import ONE, T, X, ZERO
 from ..netlist.circuit import Circuit
+from ..obs.trace import TRACER as _TRACE
+from ..obs.trace import span as _span
 from ..sim.parallel import resolve_jobs, run_sharded
 from ..sim.ternary_sim import cls_outputs
 from ..stg.delayed import delay_needed_for_implication, delayed_implies
@@ -142,6 +144,9 @@ def first_cls_difference(
     sequences = list(sequences)
     if not sequences:
         return None
+    if _TRACE.enabled:
+        _TRACE.incr("retime.validity.cls_checks")
+        _TRACE.incr("retime.validity.cls_sequences", len(sequences))
     resolved = resolve_jobs(jobs)
     if resolved > 1 and len(sequences) > 1:
         per_sequence = run_sharded(
@@ -237,6 +242,8 @@ def check_retiming_validity(
     """Run the full battery of paper checks on a retiming session."""
     original, retimed = session.original, session.current
     k = session.theorem45_k
+    if _TRACE.enabled:
+        _TRACE.incr("retime.validity.reports")
 
     implication = safe = delayed = None
     min_delay = None
@@ -244,15 +251,16 @@ def check_retiming_validity(
         original.num_latches + len(original.inputs),
         retimed.num_latches + len(retimed.inputs),
     )
-    if check_stg and bits <= max_stg_bits:
-        d_stg = extract_stg(original)
-        c_stg = extract_stg(retimed)
-        implication = implies(c_stg, d_stg)
-        safe = is_safe_replacement(c_stg, d_stg)
-        delayed = delayed_implies(c_stg, d_stg, k)
-        min_delay = delay_needed_for_implication(c_stg, d_stg)
+    with _span("retime.validity"):
+        if check_stg and bits <= max_stg_bits:
+            d_stg = extract_stg(original)
+            c_stg = extract_stg(retimed)
+            implication = implies(c_stg, d_stg)
+            safe = is_safe_replacement(c_stg, d_stg)
+            delayed = delayed_implies(c_stg, d_stg, k)
+            min_delay = delay_needed_for_implication(c_stg, d_stg)
 
-    invariant = cls_equivalent(original, retimed, sequences, seed=seed)
+        invariant = cls_equivalent(original, retimed, sequences, seed=seed)
     return ValidityReport(
         hazardous_moves=session.hazardous_move_count,
         theorem45_k=k,

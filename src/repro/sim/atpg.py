@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.circuit import Circuit
+from ..obs.trace import TRACER as _TRACE
+from ..obs.trace import span as _span
 from .fault import (
     StuckAtFault,
     _first_detecting_index,
@@ -127,26 +129,35 @@ def generate_tests(
         return result
 
     width = len(circuit.inputs)
-    for attempt in range(max_attempts):
-        if len(result.detected) / total >= target_coverage:
-            break
-        length = 2 + (attempt * (max_length - 2)) // max(1, max_attempts - 1)
-        candidate: Test = tuple(
-            tuple(rng.random() < 0.5 for _ in range(width)) for _ in range(length)
+    with _span("sim.atpg.generate"):
+        for attempt in range(max_attempts):
+            if len(result.detected) / total >= target_coverage:
+                break
+            length = 2 + (attempt * (max_length - 2)) // max(1, max_attempts - 1)
+            candidate: Test = tuple(
+                tuple(rng.random() < 0.5 for _ in range(width)) for _ in range(length)
+            )
+            result.attempts += 1
+            good = good_outputs(circuit, candidate, semantics=semantics)
+            caught = [
+                fault
+                for fault in result.undetected
+                if _detects(circuit, fault, candidate, semantics, good)
+            ]
+            if caught:
+                index = len(result.tests)
+                result.tests.append(candidate)
+                for fault in caught:
+                    result.detected[fault] = index
+                result.undetected = [f for f in result.undetected if f not in caught]
+    if _TRACE.enabled:
+        counters = _TRACE.counters
+        counters["sim.atpg.candidates"] = (
+            counters.get("sim.atpg.candidates", 0) + result.attempts
         )
-        result.attempts += 1
-        good = good_outputs(circuit, candidate, semantics=semantics)
-        caught = [
-            fault
-            for fault in result.undetected
-            if _detects(circuit, fault, candidate, semantics, good)
-        ]
-        if caught:
-            index = len(result.tests)
-            result.tests.append(candidate)
-            for fault in caught:
-                result.detected[fault] = index
-            result.undetected = [f for f in result.undetected if f not in caught]
+        counters["sim.atpg.tests_kept"] = (
+            counters.get("sim.atpg.tests_kept", 0) + len(result.tests)
+        )
     return result
 
 
@@ -170,17 +181,20 @@ def grade_test_set(
     """
     fault_list = list(faults) if faults is not None else list(enumerate_faults(circuit))
     result = AtpgResult(tests=list(tests), undetected=list(fault_list))
+    if _TRACE.enabled:
+        _TRACE.incr("sim.atpg.faults_graded", len(fault_list))
     resolved = resolve_jobs(jobs)
     if resolved > 1 and len(fault_list) > 1 and tests:
         frozen = tuple(tuple(tuple(v) for v in test) for test in tests)
         goods = tuple(good_outputs(circuit, test, semantics=semantics) for test in frozen)
-        first = run_sharded(
-            _first_detecting_index,
-            (circuit, frozen, goods, semantics),
-            fault_list,
-            jobs=resolved,
-            label="test-set-grading",
-        )
+        with _span("sim.atpg.grade"):
+            first = run_sharded(
+                _first_detecting_index,
+                (circuit, frozen, goods, semantics),
+                fault_list,
+                jobs=resolved,
+                label="test-set-grading",
+            )
         by_fault = dict(zip(fault_list, first))
         # Re-play the serial bookkeeping so insertion orders match:
         # detected fills per test index, fault-list order within each.
@@ -191,16 +205,17 @@ def grade_test_set(
         result.undetected = [f for f in fault_list if by_fault[f] is None]
         result.attempts = len(tests)
         return result
-    for index, test in enumerate(tests):
-        vectors = tuple(tuple(v) for v in test)
-        good = good_outputs(circuit, vectors, semantics=semantics)
-        caught = [
-            fault
-            for fault in result.undetected
-            if _detects(circuit, fault, vectors, semantics, good)
-        ]
-        for fault in caught:
-            result.detected[fault] = index
-        result.undetected = [f for f in result.undetected if f not in caught]
-        result.attempts += 1
+    with _span("sim.atpg.grade"):
+        for index, test in enumerate(tests):
+            vectors = tuple(tuple(v) for v in test)
+            good = good_outputs(circuit, vectors, semantics=semantics)
+            caught = [
+                fault
+                for fault in result.undetected
+                if _detects(circuit, fault, vectors, semantics, good)
+            ]
+            for fault in caught:
+                result.detected[fault] = index
+            result.undetected = [f for f in result.undetected if f not in caught]
+            result.attempts += 1
     return result

@@ -71,6 +71,8 @@ import numpy as np
 from ..logic.functions import CellFunction
 from ..logic.ternary import ONE, T, X, ZERO
 from ..netlist.circuit import Circuit, CircuitError
+from ..obs.trace import TRACER as _TRACE
+from ..obs.trace import span as _span
 
 __all__ = [
     "CompiledCircuit",
@@ -246,9 +248,13 @@ def _memoised_fn(cc: "CompiledCircuit", domain: str) -> Callable:
     key = (domain, cc.signature)
     fn = _FN_CACHE.get(key)
     if fn is None:
-        source, env = (_emit_binary if domain == "b" else _emit_ternary)(cc)
-        fn = _compile_source(source, env)
+        with _span("compile.codegen"):
+            source, env = (_emit_binary if domain == "b" else _emit_ternary)(cc)
+            fn = _compile_source(source, env)
         _FN_CACHE[key] = fn
+        _TRACE.incr("compile.codegen")
+    else:
+        _TRACE.incr("compile.codegen_cache_hits")
     return fn
 
 
@@ -504,6 +510,21 @@ class CompiledCircuit:
         forced: Optional[Mapping[int, bool]] = None,
     ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
         """One binary cycle over lane masks: ``(outputs, next_state)``."""
+        if _TRACE.enabled:
+            counters = _TRACE.counters
+            counters["sim.compiled.binary.cycles"] = (
+                counters.get("sim.compiled.binary.cycles", 0) + 1
+            )
+            counters["sim.compiled.binary.ops"] = (
+                counters.get("sim.compiled.binary.ops", 0) + len(self.ops)
+            )
+            counters["sim.compiled.binary.lanes"] = (
+                counters.get("sim.compiled.binary.lanes", 0) + all_lanes.bit_length()
+            )
+            if forced:
+                counters["sim.compiled.forced.cycles"] = (
+                    counters.get("sim.compiled.forced.cycles", 0) + 1
+                )
         if forced:
             values = self._interpret_binary(state_masks, input_masks, all_lanes, forced)
             return (
@@ -523,6 +544,21 @@ class CompiledCircuit:
         forced: Optional[Mapping[int, T]] = None,
     ) -> Tuple[Tuple[Tuple[int, int], ...], Tuple[Tuple[int, int], ...]]:
         """One dual-rail ternary cycle over lane masks."""
+        if _TRACE.enabled:
+            counters = _TRACE.counters
+            counters["sim.compiled.ternary.cycles"] = (
+                counters.get("sim.compiled.ternary.cycles", 0) + 1
+            )
+            counters["sim.compiled.ternary.ops"] = (
+                counters.get("sim.compiled.ternary.ops", 0) + len(self.ops)
+            )
+            counters["sim.compiled.ternary.lanes"] = (
+                counters.get("sim.compiled.ternary.lanes", 0) + all_lanes.bit_length()
+            )
+            if forced:
+                counters["sim.compiled.forced.cycles"] = (
+                    counters.get("sim.compiled.forced.cycles", 0) + 1
+                )
         if forced:
             rails = self._interpret_ternary(state_rails, input_rails, all_lanes, forced)
             return (
@@ -700,7 +736,12 @@ def compile_circuit(circuit: Circuit) -> CompiledCircuit:
     """
     cached = circuit._compiled_cache  # noqa: SLF001 - by-design cache slot
     if isinstance(cached, CompiledCircuit):
+        if _TRACE.enabled:
+            _TRACE.incr("compile.cache_hits")
         return cached
-    compiled = CompiledCircuit(circuit)
+    with _span("compile"):
+        compiled = CompiledCircuit(circuit)
+    _TRACE.incr("compile.circuits")
+    _TRACE.incr("compile.ops", len(compiled.ops))
     circuit._compiled_cache = compiled  # noqa: SLF001
     return compiled

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generic, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 from ..netlist.circuit import Circuit
+from ..obs.trace import TRACER as _TRACE
 
 __all__ = ["propagate", "SimulationTrace"]
 
@@ -96,6 +97,12 @@ def propagate(
         )
         for net, value in zip(cell.outputs, out_vals):
             write(net, value)
+    if _TRACE.enabled:
+        counters = _TRACE.counters
+        counters["sim.interpreted.cycles"] = counters.get("sim.interpreted.cycles", 0) + 1
+        counters["sim.interpreted.cell_evals"] = (
+            counters.get("sim.interpreted.cell_evals", 0) + len(cells)
+        )
     return values
 
 

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from ..logic.ternary import T, to_ternary
 from ..netlist.circuit import Circuit
+from ..obs.trace import TRACER as _TRACE
 from .core import SimulationTrace
 
 __all__ = ["EventDrivenSimulator", "ActivityStats"]
@@ -163,6 +164,12 @@ class EventDrivenSimulator:
             for net, value in zip(cell.outputs, out_vals):
                 self._write(net, value, heap, pending)
         self.stats.evaluations.append(evaluations)
+        if _TRACE.enabled:
+            counters = _TRACE.counters
+            counters["sim.event.cycles"] = counters.get("sim.event.cycles", 0) + 1
+            counters["sim.event.cell_evals"] = (
+                counters.get("sim.event.cell_evals", 0) + evaluations
+            )
 
         outputs = tuple(self._values[n] for n in circuit.outputs)
         next_state = tuple(self._values[latch.data_in] for latch in circuit.latches)

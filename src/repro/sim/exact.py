@@ -41,6 +41,8 @@ import numpy as np
 
 from ..logic.ternary import ONE, T, X, ZERO
 from ..netlist.circuit import Circuit
+from ..obs.trace import TRACER as _TRACE
+from ..obs.trace import span as _span
 from .compiled import column_to_mask, compile_circuit, mask_to_column
 from .multi import all_states_array
 from .parallel import resolve_jobs, run_sharded
@@ -205,12 +207,20 @@ class ExactSimulator:
         all_lanes = (1 << batch) - 1
         forced = compiled.forced_binary(self.overrides)
         outputs_per_cycle: List[Tuple[int, ...]] = []
-        for vector in input_sequence:
-            input_masks = [all_lanes if bool(bit) else 0 for bit in vector]
-            out_masks, state_masks = compiled.step_binary_masks(
-                state_masks, input_masks, all_lanes, forced
+        with _span("sim.exact"):
+            for vector in input_sequence:
+                input_masks = [all_lanes if bool(bit) else 0 for bit in vector]
+                out_masks, state_masks = compiled.step_binary_masks(
+                    state_masks, input_masks, all_lanes, forced
+                )
+                outputs_per_cycle.append(out_masks)
+        if _TRACE.enabled:
+            counters = _TRACE.counters
+            counters["sim.exact.sweeps"] = counters.get("sim.exact.sweeps", 0) + 1
+            counters["sim.exact.lanes"] = counters.get("sim.exact.lanes", 0) + batch
+            counters["sim.exact.cycles"] = (
+                counters.get("sim.exact.cycles", 0) + len(outputs_per_cycle)
             )
-            outputs_per_cycle.append(out_masks)
         return outputs_per_cycle, state_masks, all_lanes, batch
 
     def _batch_size(self, states: Optional[np.ndarray]) -> int:
@@ -247,13 +257,21 @@ class ExactSimulator:
             explicit,
             self.circuit.num_latches,
         )
-        per_chunk = run_sharded(
-            _sweep_lane_block,
-            payload,
-            blocks,
-            jobs=jobs,
-            label="exact-sweep",
-        )
+        with _span("sim.exact"):
+            per_chunk = run_sharded(
+                _sweep_lane_block,
+                payload,
+                blocks,
+                jobs=jobs,
+                label="exact-sweep",
+            )
+        if _TRACE.enabled:
+            counters = _TRACE.counters
+            counters["sim.exact.sweeps"] = counters.get("sim.exact.sweeps", 0) + 1
+            counters["sim.exact.lanes"] = counters.get("sim.exact.lanes", 0) + batch
+            counters["sim.exact.cycles"] = (
+                counters.get("sim.exact.cycles", 0) + len(sequence)
+            )
         return per_chunk
 
     def _use_parallel(self, states: Optional[np.ndarray]) -> int:

@@ -42,6 +42,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..logic.ternary import ONE, T, X, ZERO, from_bool, is_definite
 from ..netlist.circuit import Circuit
+from ..obs.trace import TRACER as _TRACE
+from ..obs.trace import span as _span
 from .exact import ExactSimulator
 from .parallel import resolve_jobs, run_sharded
 from .ternary_sim import TernarySimulator, all_x_state
@@ -146,6 +148,8 @@ def detects_exact(
     good: Optional[Sequence[Sequence[T]]] = None,
 ) -> TestEvaluation:
     """Exact-semantics detection verdict (all power-up states swept)."""
+    if _TRACE.enabled:
+        _TRACE.incr("sim.fault.evals")
     if good is None:
         good = good_outputs(circuit, test, semantics="exact", max_latches=max_latches)
     faulty_sim = ExactSimulator(
@@ -163,6 +167,8 @@ def detects_cls(
     good: Optional[Sequence[Sequence[T]]] = None,
 ) -> TestEvaluation:
     """CLS-semantics detection verdict (both circuits started all-X)."""
+    if _TRACE.enabled:
+        _TRACE.incr("sim.fault.evals")
     if good is None:
         good = good_outputs(circuit, test, semantics="cls")
     bad_sim = TernarySimulator(circuit, overrides=_ternary_overrides(fault))
@@ -271,6 +277,12 @@ class FaultSimulator:
         returned map is identical to the serial one.
         """
         fault_list = list(faults) if faults is not None else list(enumerate_faults(self.circuit))
+        if _TRACE.enabled:
+            counters = _TRACE.counters
+            counters["sim.fault.faults"] = (
+                counters.get("sim.fault.faults", 0) + len(fault_list)
+            )
+            counters["sim.fault.tests"] = counters.get("sim.fault.tests", 0) + len(tests)
         jobs = resolve_jobs(self.jobs)
         if jobs > 1 and len(fault_list) > 1:
             frozen_tests = tuple(tuple(tuple(v) for v in test) for test in tests)
@@ -284,27 +296,38 @@ class FaultSimulator:
                 goods,
                 self.semantics,
             )
-            first = run_sharded(
-                _first_detecting_index,
-                payload,
-                fault_list,
-                jobs=jobs,
-                label="fault-grading",
-            )
+            with _span("sim.fault.grade"):
+                first = run_sharded(
+                    _first_detecting_index,
+                    payload,
+                    fault_list,
+                    jobs=jobs,
+                    label="fault-grading",
+                )
+            if _TRACE.enabled:
+                _TRACE.incr(
+                    "sim.fault.detected", sum(1 for v in first if v is not None)
+                )
             return dict(zip(fault_list, first))
         verdicts: Dict[StuckAtFault, Optional[int]] = {f: None for f in fault_list}
         remaining = list(fault_list)
-        for index, test in enumerate(tests):
-            good = good_outputs(self.circuit, test, semantics=self.semantics)
-            still: List[StuckAtFault] = []
-            for fault in remaining:
-                if self._detects(fault, test, good):
-                    verdicts[fault] = index
-                else:
-                    still.append(fault)
-            remaining = still
-            if not remaining:
-                break
+        with _span("sim.fault.grade"):
+            for index, test in enumerate(tests):
+                good = good_outputs(self.circuit, test, semantics=self.semantics)
+                still: List[StuckAtFault] = []
+                for fault in remaining:
+                    if self._detects(fault, test, good):
+                        verdicts[fault] = index
+                    else:
+                        still.append(fault)
+                remaining = still
+                if not remaining:
+                    break
+        if _TRACE.enabled:
+            _TRACE.incr(
+                "sim.fault.detected",
+                sum(1 for v in verdicts.values() if v is not None),
+            )
         return verdicts
 
     def coverage(

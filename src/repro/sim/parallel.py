@@ -49,6 +49,9 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from ..obs.trace import TRACER as _TRACE
+from ..obs.trace import span as _span
+
 __all__ = [
     "ParallelStats",
     "add_observer",
@@ -57,6 +60,7 @@ __all__ = [
     "get_default_jobs",
     "last_stats",
     "remove_observer",
+    "reset_fallback_warning",
     "resolve_jobs",
     "run_sharded",
     "set_default_jobs",
@@ -185,6 +189,33 @@ def _publish(stats: ParallelStats) -> None:
         callback(stats)
 
 
+# On boxes where pools genuinely cannot start (1-core CI runners,
+# sandboxes without fork/spawn) *every* sharded call would otherwise
+# repeat the same RuntimeWarning; the condition is per-process, so the
+# diagnostic is too.  ParallelStats.fallback still marks every call.
+_fallback_warned = False
+
+
+def reset_fallback_warning() -> None:
+    """Re-arm the once-per-process serial-fallback warning (for tests)."""
+    global _fallback_warned
+    _fallback_warned = False
+
+
+def _warn_fallback_once(label: str, jobs: int, exc: Exception) -> None:
+    global _fallback_warned
+    if _fallback_warned:
+        return
+    _fallback_warned = True
+    warnings.warn(
+        "parallel %s with %d jobs unavailable (%s: %s); running serially"
+        " (further fall-backs in this process will be silent)"
+        % (label, jobs, type(exc).__name__, exc),
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Chunking.
 # ---------------------------------------------------------------------------
@@ -219,7 +250,11 @@ def _init_worker(payload_bytes: bytes) -> None:
 
 def _run_chunk(task_and_chunk):
     task, chunk = task_and_chunk
-    return task(_WORKER_PAYLOAD, chunk)
+    started = perf_counter()
+    part = task(_WORKER_PAYLOAD, chunk)
+    # The worker's own tracer is always disabled; its wall time travels
+    # back with the results so the parent can fold it into the report.
+    return list(part), perf_counter() - started
 
 
 def _make_executor(jobs: int, payload_bytes: bytes) -> Executor:
@@ -263,8 +298,14 @@ def run_sharded(
     jobs = resolve_jobs(jobs)
     work = list(items)
     started = perf_counter()
+    if _TRACE.enabled:
+        counters = _TRACE.counters
+        counters["parallel.calls"] = counters.get("parallel.calls", 0) + 1
+        counters["parallel.items"] = counters.get("parallel.items", 0) + len(work)
 
     def _serial(fallback: bool) -> List[Result]:
+        if fallback:
+            _TRACE.incr("parallel.fallbacks")
         results = list(task(payload, work))
         _publish(
             ParallelStats(
@@ -280,32 +321,35 @@ def run_sharded(
         return results
 
     if jobs <= 1 or len(work) <= 1:
-        return _serial(fallback=False)
+        with _span("parallel.%s" % label):
+            return _serial(fallback=False)
 
     size = chunk_size if chunk_size is not None else auto_chunk_size(len(work), jobs)
     chunks = [work[i : i + size] for i in range(0, len(work), size)]
-    try:
-        payload_bytes = pickle.dumps(payload)
-        with _make_executor(min(jobs, len(chunks)), payload_bytes) as pool:
-            parts = list(pool.map(_run_chunk, [(task, chunk) for chunk in chunks]))
-    except Exception as exc:  # pool could not start or run -- degrade
-        warnings.warn(
-            "parallel %s with %d jobs unavailable (%s: %s); running serially"
-            % (label, jobs, type(exc).__name__, exc),
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return _serial(fallback=True)
+    with _span("parallel.%s" % label):
+        try:
+            payload_bytes = pickle.dumps(payload)
+            with _make_executor(min(jobs, len(chunks)), payload_bytes) as pool:
+                parts = list(pool.map(_run_chunk, [(task, chunk) for chunk in chunks]))
+        except Exception as exc:  # pool could not start or run -- degrade
+            _warn_fallback_once(label, jobs, exc)
+            return _serial(fallback=True)
 
-    results: List[Result] = []
-    for chunk, part in zip(chunks, parts):
-        part = list(part)
-        if len(part) != len(chunk):
-            raise RuntimeError(
-                "parallel task %r returned %d results for a chunk of %d items"
-                % (getattr(task, "__name__", task), len(part), len(chunk))
-            )
-        results.extend(part)
+        if _TRACE.enabled:
+            counters = _TRACE.counters
+            counters["parallel.chunks"] = counters.get("parallel.chunks", 0) + len(chunks)
+            for _, shard_elapsed in parts:
+                _TRACE.record_timing("shard", shard_elapsed)
+
+        results: List[Result] = []
+        with _span("merge"):
+            for chunk, (part, _) in zip(chunks, parts):
+                if len(part) != len(chunk):
+                    raise RuntimeError(
+                        "parallel task %r returned %d results for a chunk of %d items"
+                        % (getattr(task, "__name__", task), len(part), len(chunk))
+                    )
+                results.extend(part)
     _publish(
         ParallelStats(
             label=label,

@@ -25,6 +25,7 @@ from typing import Iterable, Mapping, Optional, Sequence, Tuple
 
 from ..logic.ternary import T, TernaryLike, X, to_ternary
 from ..netlist.circuit import Circuit
+from ..obs.trace import TRACER as _TRACE
 from .compiled import compile_circuit, resolve_backend
 from .core import SimulationTrace, propagate
 
@@ -98,6 +99,8 @@ class TernarySimulator:
         self, input_sequence: Iterable[Sequence[TernaryLike]]
     ) -> SimulationTrace:
         """Simulate from the all-X power-up state -- the CLS convention."""
+        if _TRACE.enabled:
+            _TRACE.incr("sim.cls.runs")
         return self.run(all_x_state(self.circuit), input_sequence)
 
 

@@ -23,6 +23,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..netlist.circuit import Circuit
+from ..obs.trace import TRACER as _TRACE
+from ..obs.trace import traced as _traced
 from ..sim.multi import BatchedBinarySimulator, all_states_array
 
 __all__ = ["STG", "extract_stg", "MAX_STG_BITS"]
@@ -118,6 +120,7 @@ class STG:
         return "\n".join(lines)
 
 
+@_traced("stg.extract")
 def extract_stg(circuit: Circuit, *, max_bits: int = MAX_STG_BITS) -> STG:
     """Tabulate the complete STG of *circuit* by exhaustive simulation.
 
@@ -156,6 +159,9 @@ def extract_stg(circuit: Circuit, *, max_bits: int = MAX_STG_BITS) -> STG:
             next_state[s][symbol] = nxt_list[s]
             output[s][symbol] = out_list[s]
 
+    if _TRACE.enabled:
+        _TRACE.incr("stg.extracted")
+        _TRACE.incr("stg.transitions", num_states * num_symbols)
     return STG(
         num_latches=n,
         num_inputs=m,

@@ -1,0 +1,116 @@
+"""Property tests for Section 4's move theorems on random circuits.
+
+Hypothesis drives random small circuits through random move walks and
+checks the paper's claims via the explicit STG machinery:
+
+* **Proposition 4.1 / Corollary 4.4**: a walk using only backward moves
+  and forward moves across justifiable elements preserves ``C ⊑ D``;
+* **Theorem 4.5**: an unrestricted walk (hazardous moves allowed)
+  yields ``C^k ⊑ D`` for the session's computed net-crossing bound k;
+* **Corollary 5.3**: every walk, hazardous or not, leaves the CLS
+  outputs invariant.
+
+Circuits are kept tiny so every implication check is an exact product
+exploration of the full state spaces, never a sampled one.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generators import random_sequential_circuit
+from repro.retime.engine import RetimingSession
+from repro.retime.moves import enabled_moves
+from repro.retime.validity import cls_equivalent
+from repro.stg.delayed import delayed_implies
+from repro.stg.equivalence import implies
+from repro.stg.explicit import extract_stg
+
+MAX_STG_BITS = 12
+
+
+def _small_circuit(seed: int):
+    return random_sequential_circuit(
+        seed, num_inputs=1, num_gates=5, num_latches=2, name="prop%d" % seed
+    )
+
+
+def _random_walk(session: RetimingSession, rng: random.Random, steps: int,
+                 *, include_hazardous: bool) -> int:
+    """Apply up to *steps* random enabled moves; returns how many ran."""
+    applied = 0
+    for _ in range(steps):
+        moves = enabled_moves(session.current, include_hazardous=include_hazardous)
+        if not moves:
+            break
+        session.apply(rng.choice(moves))
+        applied += 1
+    return applied
+
+
+def _stg_pair(session: RetimingSession):
+    """STGs of (retimed, original), or ``None`` when the walk grew the
+    state space past what exact product exploration should chew on."""
+    original, current = session.original, session.current
+    bits = max(
+        original.num_latches + len(original.inputs),
+        current.num_latches + len(current.inputs),
+    )
+    if bits > MAX_STG_BITS:
+        return None
+    return extract_stg(current), extract_stg(original)
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 500), walk=st.integers(1, 4))
+def test_safe_moves_preserve_implication(seed, walk):
+    """Prop. 4.1/Cor. 4.4: no hazardous move  ==>  C ⊑ D outright."""
+    circuit = _small_circuit(seed)
+    session = RetimingSession(circuit)
+    rng = random.Random(seed * 31 + walk)
+    if not _random_walk(session, rng, walk, include_hazardous=False):
+        return  # nothing enabled on this draw
+    assert session.is_safe_per_corollary44
+    assert session.theorem45_k == 0
+    pair = _stg_pair(session)
+    if pair is None:
+        return
+    c_stg, d_stg = pair
+    assert implies(c_stg, d_stg)
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 500), walk=st.integers(1, 5))
+def test_theorem45_bound_holds_for_any_walk(seed, walk):
+    """Thm. 4.5: k net forward JUNC crossings  ==>  C^k ⊑ D."""
+    circuit = _small_circuit(seed)
+    session = RetimingSession(circuit)
+    rng = random.Random(seed * 17 + walk)
+    if not _random_walk(session, rng, walk, include_hazardous=True):
+        return
+    pair = _stg_pair(session)
+    if pair is None:
+        return
+    c_stg, d_stg = pair
+    k = session.theorem45_k
+    assert delayed_implies(c_stg, d_stg, k)
+    if k == 0:
+        # Degenerate Thm 4.5 is exactly Cor 4.4.
+        assert implies(c_stg, d_stg)
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 500), walk=st.integers(1, 4))
+def test_cls_outputs_invariant_under_any_walk(seed, walk):
+    """Cor. 5.3: the CLS cannot distinguish C from D, hazard or not."""
+    circuit = _small_circuit(seed)
+    session = RetimingSession(circuit)
+    rng = random.Random(seed * 7 + walk)
+    if not _random_walk(session, rng, walk, include_hazardous=True):
+        return
+    assert cls_equivalent(
+        session.original, session.current, count=6, length=8, seed=seed
+    )

@@ -29,6 +29,22 @@ def test_event_driven_matches_oblivious_binary(seed, data):
     assert event.states == reference.states
 
 
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 500), data=st.data())
+def test_event_driven_matches_compiled_backend(seed, data):
+    """The event-driven engine agrees with the flat-program compiled
+    backend, not just the interpreted reference, on random circuits."""
+    circuit = random_sequential_circuit(seed, num_inputs=2, num_gates=9, num_latches=3)
+    length = data.draw(st.integers(1, 5))
+    seq = [tuple(data.draw(st.booleans()) for _ in circuit.inputs) for _ in range(length)]
+    state = tuple(data.draw(st.booleans()) for _ in range(circuit.num_latches))
+
+    compiled = BinarySimulator(circuit, backend="compiled").run(state, seq)
+    event = EventDrivenSimulator(circuit).run(state, seq)
+    assert event.outputs == compiled.outputs
+    assert event.states == compiled.states
+
+
 @settings(deadline=None, max_examples=10)
 @given(seed=st.integers(0, 300))
 def test_event_driven_matches_oblivious_ternary(seed):

@@ -113,6 +113,14 @@ class TestRunSharded:
 
 
 class TestFallback:
+    @pytest.fixture(autouse=True)
+    def _rearm_warning(self):
+        # The fall-back diagnostic is once-per-process; re-arm it so each
+        # test observes its own first warning.
+        parallel.reset_fallback_warning()
+        yield
+        parallel.reset_fallback_warning()
+
     def test_pool_failure_falls_back_to_serial(self, monkeypatch):
         def broken(jobs, payload_bytes):
             raise OSError("no processes in this sandbox")
@@ -143,6 +151,36 @@ class TestFallback:
         with pytest.warns(RuntimeWarning):
             fallback = FaultSimulator(circuit, jobs=4).run_test_set(tests)
         assert fallback == serial
+
+    def test_warning_fires_once_per_process(self, monkeypatch):
+        # Regression: on 1-core CI boxes where the pool can never start,
+        # every sharded call used to repeat the RuntimeWarning.  Only
+        # the first fall-back may warn; later ones stay silent (but
+        # ParallelStats still records each fall-back).
+        def broken(jobs, payload_bytes):
+            raise OSError("no processes in this sandbox")
+
+        monkeypatch.setattr(parallel, "_make_executor", broken)
+        with pytest.warns(RuntimeWarning, match="further fall-backs"):
+            run_sharded(_doubler, 2, [1, 2, 3], jobs=4, label="first")
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            out = run_sharded(_doubler, 2, [4, 5], jobs=4, label="second")
+        assert out == [8, 10]
+        assert last_stats().fallback
+
+    def test_reset_rearms_the_warning(self, monkeypatch):
+        def broken(jobs, payload_bytes):
+            raise OSError("still no processes")
+
+        monkeypatch.setattr(parallel, "_make_executor", broken)
+        with pytest.warns(RuntimeWarning):
+            run_sharded(_doubler, 2, [1, 2, 3], jobs=4)
+        parallel.reset_fallback_warning()
+        with pytest.warns(RuntimeWarning):
+            run_sharded(_doubler, 2, [1, 2, 3], jobs=4)
 
 
 def _lambda_ref_task(payload, chunk):

@@ -1,12 +1,15 @@
-"""Tests for the VCD waveform export."""
+"""Tests for the VCD waveform export and its round-trip parser."""
 
 from __future__ import annotations
 
+import pytest
+
+from repro.bench.generators import random_sequential_circuit
 from repro.bench.paper_circuits import TABLE1_INPUT_SEQUENCE, figure1_design_d
-from repro.logic.ternary import ONE, ZERO
+from repro.logic.ternary import ONE, X, ZERO, to_ternary
 from repro.sim.binary import BinarySimulator
-from repro.sim.ternary_sim import TernarySimulator
-from repro.sim.vcd import trace_to_vcd
+from repro.sim.ternary_sim import TernarySimulator, all_x_state
+from repro.sim.vcd import parse_vcd, trace_to_vcd
 
 
 def binary_trace():
@@ -64,3 +67,68 @@ def test_vcd_custom_options():
     vcd = trace_to_vcd(d, trace, timescale="10ps", module="dut")
     assert "$timescale 10ps $end" in vcd
     assert "$scope module dut $end" in vcd
+
+
+class TestRoundTrip:
+    """``parse_vcd(trace_to_vcd(...))`` recovers every waveform."""
+
+    def _assert_matches(self, circuit, trace, waves):
+        assert waves.num_cycles == len(trace)
+        for pin, net in enumerate(circuit.inputs):
+            expected = tuple(
+                to_ternary(trace.inputs[t][pin]) for t in range(len(trace))
+            )
+            assert waves.wave("in.%s" % net) == expected
+        for pin, net in enumerate(circuit.outputs):
+            expected = tuple(
+                to_ternary(trace.outputs[t][pin]) for t in range(len(trace))
+            )
+            assert waves.wave("out.%s_%d" % (net, pin)) == expected
+        for pos, latch_name in enumerate(circuit.latch_names):
+            expected = tuple(
+                to_ternary(trace.states[t][pos]) for t in range(len(trace))
+            )
+            assert waves.wave("state.%s" % latch_name) == expected
+
+    def test_binary_trace_round_trips(self):
+        d, trace = binary_trace()
+        waves = parse_vcd(trace_to_vcd(d, trace))
+        self._assert_matches(d, trace, waves)
+
+    def test_ternary_trace_round_trips_with_x(self):
+        d = figure1_design_d()
+        trace = TernarySimulator(d).run(all_x_state(d), [(ZERO,), (ONE,), (X,)])
+        waves = parse_vcd(trace_to_vcd(d, trace))
+        self._assert_matches(d, trace, waves)
+        assert X in waves.wave("state.L")
+
+    def test_random_circuits_round_trip(self):
+        for seed in range(5):
+            circuit = random_sequential_circuit(
+                seed, num_inputs=2, num_gates=9, num_latches=3, num_outputs=2
+            )
+            state = tuple(bool((seed >> i) & 1) for i in range(3))
+            seq = [
+                tuple(bool((seed * 3 + t + i) % 2) for i in range(2))
+                for t in range(6)
+            ]
+            trace = BinarySimulator(circuit).run(state, seq)
+            waves = parse_vcd(trace_to_vcd(circuit, trace))
+            self._assert_matches(circuit, trace, waves)
+
+    def test_parser_preserves_header_fields(self):
+        d, trace = binary_trace()
+        waves = parse_vcd(trace_to_vcd(d, trace, timescale="10ps", module="dut"))
+        assert waves.timescale == "10ps"
+        assert waves.module == "dut"
+        assert waves.signals[0] == "in.I"
+
+    def test_parser_rejects_vector_changes(self):
+        with pytest.raises(ValueError, match="vector"):
+            parse_vcd(
+                "$var wire 1 a sig $end\n$enddefinitions $end\n#0\nb101 a\n#1\n"
+            )
+
+    def test_parser_rejects_undeclared_ids(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            parse_vcd("$enddefinitions $end\n#0\n1zz\n#1\n")

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.bench.iscas import BENCHMARKS
 from repro.cli import main
+from repro.obs import RunReport, TRACER
 
 
 @pytest.fixture
@@ -192,6 +195,72 @@ def test_cross_format_check(tmp_path, capsys):
     assert main(["retime", str(bench), "-o", out_path]) == 0
     capsys.readouterr()
     assert main(["check", str(bench), out_path, "--exhaustive", "--stg"]) == 0
+
+
+class TestObservabilityFlags:
+    def test_trace_prints_summary_to_stderr(self, s27_path, capsys):
+        assert main(["--trace", "simulate", s27_path, "--sequence", "0000,1111"]) == 0
+        captured = capsys.readouterr()
+        assert "RunReport" in captured.err
+        assert "sim.cls.runs" in captured.err
+        assert "RunReport" not in captured.out
+
+    def test_report_writes_valid_json(self, s27_path, tmp_path, capsys):
+        target = str(tmp_path / "run.json")
+        assert main(["--report", target, "atpg", s27_path, "--attempts", "20"]) == 0
+        report = RunReport.load(target)
+        assert report.meta["command"] == "atpg"
+        assert report.counter("sim.atpg.candidates") > 0
+        assert report.span("sim.atpg.generate") is not None
+
+    def test_tracing_is_off_after_main_returns(self, s27_path, capsys):
+        main(["--trace", "info", s27_path])
+        assert TRACER.enabled is False
+        assert TRACER.counters == {}
+
+    def test_plain_runs_leave_tracer_silent(self, s27_path, capsys):
+        main(["info", s27_path])
+        assert TRACER.enabled is False
+        assert TRACER.counters == {}
+
+
+class TestBenchCommand:
+    def test_bench_default_workload(self, capsys):
+        assert main(["bench", "--seed", "3", "--cycles", "4", "--tests", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bench workload" in out
+        assert "compile:" in out
+        assert "retime:" in out
+        assert "fault-grading:" in out
+        # Without --trace/--report, bench prints its summary to stdout.
+        assert "RunReport" in out
+
+    def test_bench_on_a_named_circuit(self, s27_path, capsys):
+        assert main(["bench", s27_path, "--cycles", "4", "--tests", "2"]) == 0
+        assert "s27" in capsys.readouterr().out
+
+    def test_bench_report_covers_all_phases(self, tmp_path, capsys):
+        target = str(tmp_path / "bench.json")
+        assert main(
+            ["bench", "--seed", "1", "--cycles", "4", "--tests", "2", "--report", target]
+        ) == 0
+        doc = json.loads(open(target).read())
+        assert doc["schema"] == 1
+        paths = [s["path"] for s in doc["spans"]]
+        for phase in ("compile", "simulate", "retime", "fault-grading"):
+            assert phase in paths, "missing phase span %r" % phase
+        assert doc["counters"]["compile.circuits"] >= 1
+        assert doc["counters"]["sim.fault.faults"] > 0
+        # Phase spans nest the library's own instrumentation beneath them.
+        assert any(p.startswith("fault-grading/") for p in paths)
+
+    def test_bench_subcommand_position_of_global_flags(self, tmp_path, capsys):
+        # The flags are accepted both before and after the subcommand.
+        target = str(tmp_path / "late.json")
+        assert main(
+            ["bench", "--report", target, "--seed", "2", "--cycles", "3", "--tests", "2"]
+        ) == 0
+        assert RunReport.load(target).counter("compile.circuits") >= 1
 
 
 def test_retime_with_delay_model_and_period(traffic_path, capsys):

@@ -15,7 +15,12 @@ import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 
-DOCTESTED = ["README.md", "docs/ARCHITECTURE.md", "docs/CLI.md"]
+DOCTESTED = [
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/CLI.md",
+    "docs/OBSERVABILITY.md",
+]
 
 
 @pytest.mark.parametrize("relpath", DOCTESTED)
