@@ -10,6 +10,11 @@ Global options (before the subcommand):
     exact power-up sweeps, CLS invariance and redundancy checks);
     ``1`` (the default) is the bit-for-bit serial path, ``0`` means
     "one per CPU core"
+``--engine {explicit,symbolic,auto}``
+    containment engine for the ``⊑`` / ``≼`` analyses -- ``explicit``
+    (enumerated STGs + subset construction), ``symbolic`` (BDD
+    fixpoints) or ``auto`` (the default: explicit below the latch
+    threshold, symbolic above)
 ``--trace``
     enable the observability layer (:mod:`repro.obs`) for the run and
     print the span/counter summary to stderr on exit
@@ -63,6 +68,7 @@ from .sim.parallel import default_job_count, set_default_jobs
 from .sim.ternary_sim import TernarySimulator
 from .stg.explicit import extract_stg
 from .stg.scc import she_analysis
+from .stg.symbolic_replaceability import ENGINES, set_default_engine
 from .stg.ternary_equiv import decide_cls_equivalence
 
 __all__ = ["main"]
@@ -274,12 +280,30 @@ def cmd_check(args: argparse.Namespace) -> int:
             print("CLS equivalence (exhaustive): DIFFER -- %s" % witness.describe())
             verdict = 1
     if args.stg:
+        from .stg.symbolic_replaceability import (
+            SymbolicContainmentChecker,
+            resolve_engine,
+        )
+
+        engine = resolve_engine(None, retimed, original)
         bits = max(
             original.num_latches + len(original.inputs),
             retimed.num_latches + len(retimed.inputs),
         )
-        if bits > args.max_stg_bits:
-            print("STG analysis: skipped (state space over 2**%d)" % args.max_stg_bits)
+        if engine == "explicit" and bits > args.max_stg_bits:
+            print(
+                "STG analysis: skipped (state space over 2**%d; "
+                "try --engine symbolic)" % args.max_stg_bits
+            )
+        elif engine == "symbolic":
+            checker = SymbolicContainmentChecker(retimed, original)
+            print("containment engine: symbolic (BDD fixpoints)")
+            print("implication  (retimed ⊑ original):", checker.implies())
+            print(
+                "safe replacement (retimed ≼ original):",
+                checker.is_safe_replacement(),
+            )
+            print("least n with retimed^n ⊑ original:", checker.delay_needed())
         else:
             from .stg.delayed import delay_needed_for_implication
             from .stg.equivalence import implies
@@ -287,6 +311,7 @@ def cmd_check(args: argparse.Namespace) -> int:
 
             o_stg = extract_stg(original)
             r_stg = extract_stg(retimed)
+            print("containment engine: explicit (enumerated STGs)")
             print("implication  (retimed ⊑ original):", implies(r_stg, o_stg))
             print(
                 "safe replacement (retimed ≼ original):",
@@ -370,6 +395,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         % (minp.original_period, minp.period, len(session.history))
     )
 
+    with obs.span("containment"):
+        from .stg.symbolic_replaceability import SymbolicContainmentChecker
+
+        checker = SymbolicContainmentChecker(session.current, circuit)
+        safe = checker.is_safe_replacement()
+    print(
+        "containment:   retimed ≼ original: %s (symbolic engine, %d BDD nodes)"
+        % (safe, checker.manager.num_nodes)
+    )
+
     with obs.span("fault-grading"):
         simulator = FaultSimulator(circuit, semantics="cls")
         verdicts = simulator.run_test_set(tests)
@@ -426,6 +461,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for fault grading, exact sweeps and "
         "equivalence checks; 1 (default) = serial, 0 = one per CPU core",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="containment engine for ⊑/≼ analyses: 'explicit' "
+        "(enumerated STGs), 'symbolic' (BDD fixpoints) or 'auto' "
+        "(default: explicit below the latch threshold, symbolic above)",
     )
     parser.add_argument(
         "--trace",
@@ -526,6 +569,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.jobs < 0:
             parser.error("--jobs must be >= 0")
         set_default_jobs(default_job_count() if args.jobs == 0 else args.jobs)
+    if args.engine is not None:
+        set_default_engine(args.engine)
 
     trace = bool(getattr(args, "trace", False))
     report_path = getattr(args, "report", None)

@@ -4,36 +4,60 @@ The verification layer the paper's community ran on (Pixley's SHE
 implementation [Pix92], the safe-replacement checks of [PSAB94]) was
 built on ROBDDs.  This module provides a compact, dependency-free BDD
 manager sufficient for the symbolic analyses in
-:mod:`repro.stg.symbolic`:
+:mod:`repro.stg.symbolic` and the symbolic containment engine in
+:mod:`repro.stg.symbolic_replaceability`:
 
 * hash-consed nodes (a *unique table*), so equality of functions is
   pointer equality of node indices;
 * the Shannon-expansion ``ite`` (if-then-else) core with memoisation,
   from which all Boolean connectives derive;
-* restriction (cofactors), existential/universal quantification over
-  variable sets, variable-to-variable renaming (the next-state <->
-  current-state substitution of image computation);
+* restriction (cofactors), recursive existential/universal
+  quantification over variable sets, variable-to-variable renaming (the
+  next-state <-> current-state substitution of image computation);
+* a fused and-exists operator :meth:`BDDManager.relprod` -- the
+  relational-product workhorse of image computation, which never
+  materialises the (often huge) intermediate conjunction;
+* **bounded computed tables**: every operation cache is capped at
+  ``cache_limit`` entries and flushed wholesale when full, so a long
+  fixpoint run cannot grow memoisation without bound;
+* **mark-and-sweep garbage collection** keyed on protected roots
+  (:meth:`protect` / :meth:`collect`), recycling node slots through a
+  free list while keeping hash-consing canonical for the survivors;
+* per-operation counters in :attr:`BDDManager.stats` (ite calls, cache
+  hits, evictions, GC runs, nodes created) that the symbolic engines
+  surface through ``repro.obs``;
 * satisfy-one, model counting and support extraction.
 
 Variable order is the order of :meth:`BDDManager.variable` calls (an
-explicit ``order`` index can interleave).  No dynamic reordering -- the
-circuits here are small and a fixed topological-ish order works fine.
+explicit ``order`` index can interleave).  No dynamic reordering -- a
+fixed interleaved current/next order works for the machines here.
 
 Node representation: index into parallel arrays; node 0 is the constant
 FALSE, node 1 the constant TRUE.  Every node satisfies the ROBDD
 invariants (``low != high``, children below the node's variable), so
 semantic equivalence really is index equality -- a property the test
 suite checks against brute-force truth tables.
+
+GC contract: :meth:`collect` frees every node not reachable from a
+protected root (or a root passed to the call); any :class:`BDD` handle
+to a freed node is *invalidated* -- its slot may be recycled by later
+allocations.  Callers running long fixpoints protect their live
+frontier/relation roots and collect between iterations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["BDDManager", "BDD"]
+__all__ = ["BDDManager", "BDD", "DEFAULT_CACHE_LIMIT"]
 
 FALSE_INDEX = 0
 TRUE_INDEX = 1
+
+#: Default bound on each operation cache (entries, not nodes).
+DEFAULT_CACHE_LIMIT = 1 << 20
+
+_FREED = -2  # sentinel var level marking a slot on the free list
 
 
 class BDD:
@@ -144,9 +168,20 @@ class BDD:
 
 
 class BDDManager:
-    """A unique-table BDD store with an ``ite``-based operator core."""
+    """A unique-table BDD store with an ``ite``-based operator core.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    cache_limit:
+        Bound on each operation cache (``ite``, ``exists``,
+        ``relprod``).  When a cache reaches the limit it is flushed
+        (counted in ``stats["cache_evictions"]``); correctness is
+        unaffected -- only recomputation cost.
+    """
+
+    def __init__(self, *, cache_limit: int = DEFAULT_CACHE_LIMIT) -> None:
+        if cache_limit < 1:
+            raise ValueError("cache_limit must be positive")
         # Parallel node arrays; entries 0/1 are the terminals (their
         # var level is +inf conceptually; we use a sentinel).
         self._var: List[int] = [-1, -1]
@@ -154,8 +189,29 @@ class BDDManager:
         self._high: List[int] = [-1, -1]
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._exists_cache: Dict[Tuple[int, int], int] = {}
+        self._relprod_cache: Dict[Tuple[int, int, int], int] = {}
         self._var_names: List[str] = []
         self._var_index: Dict[str, int] = {}
+        self._free: List[int] = []
+        self._protected: Dict[int, int] = {}
+        self._qsets: Dict[FrozenSet[int], int] = {}
+        self._qset_levels: List[FrozenSet[int]] = []
+        self.cache_limit = cache_limit
+        #: Monotone per-operation counters (never reset by GC/flushes).
+        self.stats: Dict[str, int] = {
+            "nodes_created": 0,
+            "ite_calls": 0,
+            "ite_cache_hits": 0,
+            "exists_calls": 0,
+            "exists_cache_hits": 0,
+            "relprod_calls": 0,
+            "relprod_cache_hits": 0,
+            "cache_evictions": 0,
+            "gc_runs": 0,
+            "gc_freed_nodes": 0,
+            "peak_live_nodes": 2,
+        }
 
     # -- variables -----------------------------------------------------------
 
@@ -203,16 +259,34 @@ class BDDManager:
         found = self._unique.get(key)
         if found is not None:
             return found
-        index = len(self._var)
-        self._var.append(var)
-        self._low.append(low)
-        self._high.append(high)
+        if self._free:
+            index = self._free.pop()
+            self._var[index] = var
+            self._low[index] = low
+            self._high[index] = high
+        else:
+            index = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
         self._unique[key] = index
+        stats = self.stats
+        stats["nodes_created"] += 1
+        live = len(self._unique) + 2
+        if live > stats["peak_live_nodes"]:
+            stats["peak_live_nodes"] = live
         return index
 
     def _level(self, index: int) -> int:
         var = self._var[index]
         return 1 << 30 if var < 0 else var
+
+    def _cache_room(self, cache: Dict) -> Dict:
+        """Flush *cache* when it has hit the bound; returns the cache."""
+        if len(cache) >= self.cache_limit:
+            cache.clear()
+            self.stats["cache_evictions"] += 1
+        return cache
 
     # -- the ite core ---------------------------------------------------------------
 
@@ -226,9 +300,11 @@ class BDDManager:
             return g
         if g == TRUE_INDEX and h == FALSE_INDEX:
             return f
+        self.stats["ite_calls"] += 1
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self.stats["ite_cache_hits"] += 1
             return cached
         top = min(self._level(f), self._level(g), self._level(h))
 
@@ -240,7 +316,7 @@ class BDDManager:
         high = self._ite(cofactor(f, True), cofactor(g, True), cofactor(h, True))
         low = self._ite(cofactor(f, False), cofactor(g, False), cofactor(h, False))
         result = self._node(top, low, high)
-        self._ite_cache[key] = result
+        self._cache_room(self._ite_cache)[key] = result
         return result
 
     # -- restriction & quantification ----------------------------------------------
@@ -265,20 +341,120 @@ class BDDManager:
 
         return BDD(self, walk(f.index))
 
-    def exists(self, f: BDD, variables: Iterable[str]) -> BDD:
-        result = f
-        for name in variables:
-            low = self.restrict(result, {name: False})
-            high = self.restrict(result, {name: True})
-            result = low | high
+    def _qset_id(self, levels: FrozenSet[int]) -> int:
+        """Intern a quantified-level set for compact cache keys."""
+        found = self._qsets.get(levels)
+        if found is None:
+            found = len(self._qset_levels)
+            self._qsets[levels] = found
+            self._qset_levels.append(levels)
+        return found
+
+    def _levels_of(self, variables: Iterable[str]) -> FrozenSet[int]:
+        return frozenset(self._var_index[name] for name in variables)
+
+    def _exists(self, index: int, levels: FrozenSet[int], qid: int, deepest: int) -> int:
+        """Recursive multi-variable existential quantification.
+
+        *deepest* is ``max(levels)``: a node entirely below it cannot
+        contain a quantified variable, so its subtree passes through.
+        """
+        if index <= TRUE_INDEX:
+            return index
+        var = self._var[index]
+        if var > deepest:
+            return index
+        self.stats["exists_calls"] += 1
+        key = (index, qid)
+        cached = self._exists_cache.get(key)
+        if cached is not None:
+            self.stats["exists_cache_hits"] += 1
+            return cached
+        low = self._exists(self._low[index], levels, qid, deepest)
+        high = self._exists(self._high[index], levels, qid, deepest)
+        if var in levels:
+            result = self._ite(low, TRUE_INDEX, high)  # low | high
+        else:
+            result = self._node(var, low, high)
+        self._cache_room(self._exists_cache)[key] = result
         return result
 
+    def exists(self, f: BDD, variables: Iterable[str]) -> BDD:
+        levels = self._levels_of(variables)
+        if not levels:
+            return f
+        return BDD(
+            self, self._exists(f.index, levels, self._qset_id(levels), max(levels))
+        )
+
     def forall(self, f: BDD, variables: Iterable[str]) -> BDD:
-        result = f
-        for name in variables:
-            low = self.restrict(result, {name: False})
-            high = self.restrict(result, {name: True})
-            result = low & high
+        # ∀V f  ==  ¬∃V ¬f
+        levels = self._levels_of(variables)
+        if not levels:
+            return f
+        negated = self._ite(f.index, FALSE_INDEX, TRUE_INDEX)
+        result = self._exists(negated, levels, self._qset_id(levels), max(levels))
+        return BDD(self, self._ite(result, FALSE_INDEX, TRUE_INDEX))
+
+    def relprod(self, f: BDD, g: BDD, variables: Iterable[str]) -> BDD:
+        """Fused and-exists: ``exists(variables, f & g)`` without ever
+        building the conjunction.
+
+        This is the relational product at the heart of symbolic image
+        computation: quantified subtrees collapse to TRUE as soon as one
+        branch is satisfiable, so the intermediate product never
+        materialises.  Semantically identical to
+        ``(f & g).exists(variables)`` (property-tested against it).
+        """
+        if f.manager is not self or g.manager is not self:
+            raise ValueError("relprod operands belong to a different manager")
+        levels = self._levels_of(variables)
+        if not levels:
+            return f & g
+        qid = self._qset_id(levels)
+        return BDD(self, self._relprod(f.index, g.index, levels, qid, max(levels)))
+
+    def _relprod(
+        self, f: int, g: int, levels: FrozenSet[int], qid: int, deepest: int
+    ) -> int:
+        if f == FALSE_INDEX or g == FALSE_INDEX:
+            return FALSE_INDEX
+        if f == TRUE_INDEX and g == TRUE_INDEX:
+            return TRUE_INDEX
+        if f == g or g == TRUE_INDEX:
+            return self._exists(f, levels, qid, deepest)
+        if f == TRUE_INDEX:
+            return self._exists(g, levels, qid, deepest)
+        level_f, level_g = self._level(f), self._level(g)
+        top = level_f if level_f < level_g else level_g
+        if top > deepest:
+            # Entirely below the quantified variables: plain conjunction.
+            return self._ite(f, g, FALSE_INDEX)
+        self.stats["relprod_calls"] += 1
+        if f > g:  # conjunction commutes; normalise the cache key
+            f, g = g, f
+            level_f, level_g = level_g, level_f
+        key = (f, g, qid)
+        cached = self._relprod_cache.get(key)
+        if cached is not None:
+            self.stats["relprod_cache_hits"] += 1
+            return cached
+        f_low, f_high = (
+            (self._low[f], self._high[f]) if level_f == top else (f, f)
+        )
+        g_low, g_high = (
+            (self._low[g], self._high[g]) if level_g == top else (g, g)
+        )
+        low = self._relprod(f_low, g_low, levels, qid, deepest)
+        if top in levels and low == TRUE_INDEX:
+            result = TRUE_INDEX  # short-circuit: branch already satisfiable
+        else:
+            high = self._relprod(f_high, g_high, levels, qid, deepest)
+            if top in levels:
+                result = self._ite(low, TRUE_INDEX, high)  # low | high
+            else:
+                result = self._node(top, low, high)
+        self._cache_room(self._relprod_cache)[key] = result
         return result
 
     def rename(self, f: BDD, mapping: Dict[str, str]) -> BDD:
@@ -324,6 +500,66 @@ class BDDManager:
             return result
 
         return BDD(self, walk(f.index))
+
+    # -- garbage collection -------------------------------------------------------
+
+    def protect(self, f: BDD) -> BDD:
+        """Mark *f* as a GC root (reference-counted); returns *f*."""
+        if f.manager is not self:
+            raise ValueError("cannot protect a BDD from another manager")
+        self._protected[f.index] = self._protected.get(f.index, 0) + 1
+        return f
+
+    def unprotect(self, f: BDD) -> None:
+        """Drop one protection reference added by :meth:`protect`."""
+        count = self._protected.get(f.index, 0)
+        if count <= 1:
+            self._protected.pop(f.index, None)
+        else:
+            self._protected[f.index] = count - 1
+
+    def collect(self, roots: Iterable[BDD] = ()) -> int:
+        """Mark-and-sweep: free every node unreachable from the
+        protected roots and *roots*; returns the number freed.
+
+        Handles to freed nodes are invalidated (their slots go on a
+        free list for reuse); all operation caches are flushed, since
+        cached entries may reference freed slots.
+        """
+        marked = {FALSE_INDEX, TRUE_INDEX}
+        stack: List[int] = list(self._protected)
+        for f in roots:
+            if f.manager is not self:
+                raise ValueError("cannot collect with a root from another manager")
+            stack.append(f.index)
+        while stack:
+            index = stack.pop()
+            if index in marked:
+                continue
+            marked.add(index)
+            stack.append(self._low[index])
+            stack.append(self._high[index])
+        freed = 0
+        for key, index in list(self._unique.items()):
+            if index not in marked:
+                del self._unique[key]
+                self._var[index] = _FREED
+                self._low[index] = -1
+                self._high[index] = -1
+                self._free.append(index)
+                freed += 1
+        # Cached results may name freed slots; flush everything.
+        self._ite_cache.clear()
+        self._exists_cache.clear()
+        self._relprod_cache.clear()
+        self.stats["gc_runs"] += 1
+        self.stats["gc_freed_nodes"] += freed
+        return freed
+
+    @property
+    def live_node_count(self) -> int:
+        """Nodes currently in the unique table, plus the terminals."""
+        return len(self._unique) + 2
 
     # -- inspection ---------------------------------------------------------------
 
@@ -436,5 +672,6 @@ class BDDManager:
 
     @property
     def num_nodes(self) -> int:
-        """Total nodes allocated in this manager (monotone; no GC)."""
+        """Total node slots allocated in this manager (monotone; freed
+        slots remain allocated until reused)."""
         return len(self._var)

@@ -13,9 +13,11 @@ paper's claims on the concrete pair:
   sequences for C and D on every input sequence (checked on supplied or
   randomly sampled ternary sequences).
 
-Implication checks run on explicit STGs and are therefore limited to
-small state spaces; CLS invariance checks are pure simulation and scale
-to any circuit the simulators handle.
+Implication checks run either on explicit STGs (small state spaces) or
+through the symbolic BDD engine of
+:mod:`repro.stg.symbolic_replaceability` (``engine="symbolic"``, or
+``"auto"`` above the latch threshold); CLS invariance checks are pure
+simulation and scale to any circuit the simulators handle.
 """
 
 from __future__ import annotations
@@ -33,7 +35,7 @@ from ..sim.ternary_sim import cls_outputs
 from ..stg.delayed import delay_needed_for_implication, delayed_implies
 from ..stg.equivalence import implies
 from ..stg.explicit import extract_stg
-from ..stg.replaceability import is_safe_replacement
+from ..stg.replaceability import SearchBudgetExceeded, is_safe_replacement
 from .engine import RetimingSession
 
 __all__ = [
@@ -238,8 +240,21 @@ def check_retiming_validity(
     max_stg_bits: int = 16,
     sequences: Optional[Sequence[Sequence[Sequence[T]]]] = None,
     seed: int = 0,
+    engine: Optional[str] = None,
 ) -> ValidityReport:
-    """Run the full battery of paper checks on a retiming session."""
+    """Run the full battery of paper checks on a retiming session.
+
+    ``engine`` selects the containment engine (``"explicit"``,
+    ``"symbolic"`` or ``"auto"``; ``None`` = process default).  The
+    symbolic engine has no ``max_stg_bits`` gate -- that gate exists
+    precisely because STG enumeration is exponential, which the BDD
+    fixpoints avoid.
+    """
+    from ..stg.symbolic_replaceability import (
+        SymbolicContainmentChecker,
+        resolve_engine,
+    )
+
     original, retimed = session.original, session.current
     k = session.theorem45_k
     if _TRACE.enabled:
@@ -251,12 +266,25 @@ def check_retiming_validity(
         original.num_latches + len(original.inputs),
         retimed.num_latches + len(retimed.inputs),
     )
+    resolved = resolve_engine(engine, original, retimed)
     with _span("retime.validity"):
-        if check_stg and bits <= max_stg_bits:
+        if check_stg and resolved == "symbolic":
+            checker = SymbolicContainmentChecker(retimed, original)
+            implication = checker.implies()
+            try:
+                safe = checker.is_safe_replacement()
+            except SearchBudgetExceeded:
+                safe = None
+            delayed = checker.delayed_implies(k)
+            min_delay = checker.delay_needed()
+        elif check_stg and bits <= max_stg_bits:
             d_stg = extract_stg(original)
             c_stg = extract_stg(retimed)
             implication = implies(c_stg, d_stg)
-            safe = is_safe_replacement(c_stg, d_stg)
+            try:
+                safe = is_safe_replacement(c_stg, d_stg)
+            except SearchBudgetExceeded:
+                safe = None
             delayed = delayed_implies(c_stg, d_stg, k)
             min_delay = delay_needed_for_implication(c_stg, d_stg)
 

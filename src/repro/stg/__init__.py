@@ -3,6 +3,8 @@
 from .explicit import MAX_STG_BITS, STG, extract_stg  # noqa: F401
 from .equivalence import (  # noqa: F401
     QuotientMachine,
+    decide_implication,
+    decide_machines_equivalent,
     equivalence_classes,
     equivalent_state_in,
     implies,
@@ -12,6 +14,9 @@ from .equivalence import (  # noqa: F401
 )
 from .replaceability import (  # noqa: F401
     SafeReplacementViolation,
+    SearchBudgetExceeded,
+    decide_safe_replacement,
+    find_safe_replacement_violation,
     find_violation,
     is_safe_replacement,
 )
@@ -39,4 +44,17 @@ from .symbolic import (  # noqa: F401
     compile_circuit,
     product_outputs_equivalent,
     symbolic_delayed_states,
+)
+from .symbolic_replaceability import (  # noqa: F401
+    ENGINES,
+    SymbolicContainmentChecker,
+    get_default_engine,
+    resolve_engine,
+    set_default_engine,
+    symbolic_delay_needed_for_implication,
+    symbolic_delayed_implies,
+    symbolic_find_violation,
+    symbolic_implies,
+    symbolic_is_safe_replacement,
+    symbolic_machines_equivalent,
 )

@@ -16,9 +16,12 @@ and output arity.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from .explicit import STG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netlist.circuit import Circuit
 
 __all__ = [
     "equivalence_classes",
@@ -28,6 +31,8 @@ __all__ = [
     "machines_equivalent",
     "quotient",
     "QuotientMachine",
+    "decide_implication",
+    "decide_machines_equivalent",
 ]
 
 
@@ -178,3 +183,43 @@ class QuotientMachine:
 def quotient(stg: STG) -> QuotientMachine:
     """Build the state-minimal quotient machine of *stg*."""
     return QuotientMachine(stg)
+
+
+# ---------------------------------------------------------------------------
+# Circuit-level entry points with engine selection.
+# ---------------------------------------------------------------------------
+
+
+def decide_implication(
+    c: "Circuit", d: "Circuit", *, engine: Optional[str] = None
+) -> bool:
+    """Decide ``C ⊑ D`` at the circuit level.
+
+    ``engine`` is ``"explicit"`` (enumerate the STGs, then joint
+    partition refinement), ``"symbolic"`` (the BDD greatest-fixpoint of
+    :mod:`repro.stg.symbolic_replaceability`) or ``"auto"``; ``None``
+    uses the process-wide default.
+    """
+    from .symbolic_replaceability import resolve_engine, symbolic_implies
+
+    if resolve_engine(engine, c, d) == "symbolic":
+        return symbolic_implies(c, d)
+    from .explicit import extract_stg
+
+    return implies(extract_stg(c), extract_stg(d))
+
+
+def decide_machines_equivalent(
+    c: "Circuit", d: "Circuit", *, engine: Optional[str] = None
+) -> bool:
+    """Decide FSM equivalence at the circuit level (engine-dispatched)."""
+    from .symbolic_replaceability import (
+        resolve_engine,
+        symbolic_machines_equivalent,
+    )
+
+    if resolve_engine(engine, c, d) == "symbolic":
+        return symbolic_machines_equivalent(c, d)
+    from .explicit import extract_stg
+
+    return machines_equivalent(extract_stg(c), extract_stg(d))

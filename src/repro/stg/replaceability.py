@@ -33,18 +33,36 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
+from ..obs.trace import TRACER as _TRACE
 from .explicit import STG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netlist.circuit import Circuit
 
 __all__ = [
     "MAX_SUBSET_STATES",
+    "SearchBudgetExceeded",
     "is_safe_replacement",
     "find_violation",
     "SafeReplacementViolation",
+    "decide_safe_replacement",
+    "find_safe_replacement_violation",
 ]
 
 MAX_SUBSET_STATES = 200000
+
+
+class SearchBudgetExceeded(MemoryError):
+    """The containment search ran out of its *configured* budget.
+
+    Raised instead of a bare :class:`MemoryError` so callers can tell
+    budget exhaustion (retry with the symbolic engine, or a larger
+    ``max_states``) apart from a genuine out-of-memory condition; it
+    subclasses :class:`MemoryError` for backward compatibility with
+    callers that caught the old exception.
+    """
 
 
 @dataclass(frozen=True)
@@ -80,6 +98,8 @@ def find_violation(
     ``None`` when C is a safe replacement for D.
     """
     _check_alphabets(c, d)
+    if _TRACE.enabled:
+        _TRACE.incr("stg.replaceability.explicit_checks")
     all_d: FrozenSet[int] = frozenset(range(d.num_states))
     visited: Dict[Tuple[int, FrozenSet[int]], None] = {}
     queue: deque = deque()
@@ -118,6 +138,8 @@ def find_violation(
                 symbols.reverse()
                 outputs.reverse()
                 start = cursor[0]
+                if _TRACE.enabled:
+                    _TRACE.incr("stg.replaceability.subset_states", len(visited))
                 return SafeReplacementViolation(
                     c_state=start,
                     input_symbols=tuple(symbols),
@@ -125,15 +147,63 @@ def find_violation(
                 )
             if child not in visited:
                 if len(visited) >= max_states:
-                    raise MemoryError(
+                    raise SearchBudgetExceeded(
                         "safe-replacement search exceeded %d subset states" % max_states
                     )
                 visited[child] = None
                 parents[child] = (node, a, out)
                 queue.append(child)
+    if _TRACE.enabled:
+        _TRACE.incr("stg.replaceability.subset_states", len(visited))
     return None
 
 
 def is_safe_replacement(c: STG, d: STG, *, max_states: int = MAX_SUBSET_STATES) -> bool:
     """Decide the paper's ``C ≼ D``."""
     return find_violation(c, d, max_states=max_states) is None
+
+
+# ---------------------------------------------------------------------------
+# Circuit-level entry points with engine selection.
+# ---------------------------------------------------------------------------
+
+
+def find_safe_replacement_violation(
+    c: "Circuit",
+    d: "Circuit",
+    *,
+    engine: Optional[str] = None,
+    max_states: int = MAX_SUBSET_STATES,
+) -> Optional[SafeReplacementViolation]:
+    """Search for a counterexample to ``C ≼ D`` at the circuit level.
+
+    ``engine`` is ``"explicit"`` (enumerate the STGs, then the subset
+    construction of :func:`find_violation`), ``"symbolic"`` (the BDD
+    fixpoint of :mod:`repro.stg.symbolic_replaceability`) or ``"auto"``
+    (explicit below the latch-count threshold, symbolic above); ``None``
+    uses the process-wide default (see
+    :func:`repro.stg.symbolic_replaceability.set_default_engine`).
+    Both engines return the same witness type with a minimal-length
+    input string.
+    """
+    from .symbolic_replaceability import resolve_engine, symbolic_find_violation
+
+    if resolve_engine(engine, c, d) == "symbolic":
+        return symbolic_find_violation(c, d)
+    from .explicit import extract_stg
+
+    return find_violation(extract_stg(c), extract_stg(d), max_states=max_states)
+
+
+def decide_safe_replacement(
+    c: "Circuit",
+    d: "Circuit",
+    *,
+    engine: Optional[str] = None,
+    max_states: int = MAX_SUBSET_STATES,
+) -> bool:
+    """Decide ``C ≼ D`` at the circuit level (engine-dispatched)."""
+    return (
+        find_safe_replacement_violation(c, d, engine=engine, max_states=max_states)
+        is None
+    )

@@ -116,6 +116,8 @@ class SymbolicMachine:
 
         self._next_to_state = dict(zip(self.next_names, self.state_names))
         self._state_to_next = dict(zip(self.state_names, self.next_names))
+        self._transition_by_symbol: Dict[int, BDD] = {}
+        self._outputs_by_symbol: Dict[int, List[BDD]] = {}
 
     # -- state-set helpers ---------------------------------------------------
 
@@ -153,20 +155,64 @@ class SymbolicMachine:
             yield bits
             remaining = remaining & ~self.state_cube(bits)
 
+    # -- per-input-symbol views ----------------------------------------------
+
+    def input_assignment(self, symbol: int) -> Dict[str, bool]:
+        """The concrete input valuation of an encoded input *symbol*
+        (bit 0 of the circuit's input list is the most significant --
+        the :class:`repro.stg.explicit.STG` convention)."""
+        width = len(self.input_names)
+        return {
+            name: bool((symbol >> (width - 1 - i)) & 1)
+            for i, name in enumerate(self.input_names)
+        }
+
+    def transition_for(self, symbol: int) -> BDD:
+        """The transition relation cofactored at one input symbol,
+        ``T(s, s') = T(s, i=symbol, s')`` (cached per symbol)."""
+        cached = self._transition_by_symbol.get(symbol)
+        if cached is None:
+            cached = self.transition.restrict(self.input_assignment(symbol))
+            self._transition_by_symbol[symbol] = cached
+        return cached
+
+    def outputs_for(self, symbol: int) -> List[BDD]:
+        """Output functions cofactored at one input symbol (cached)."""
+        cached = self._outputs_by_symbol.get(symbol)
+        if cached is None:
+            assignment = self.input_assignment(symbol)
+            cached = [fn.restrict(assignment) for fn in self.output_functions]
+            self._outputs_by_symbol[symbol] = cached
+        return cached
+
+    def roots(self) -> List[BDD]:
+        """Every BDD this machine owns -- the GC-protection set a
+        fixpoint loop passes to :meth:`BDDManager.collect`."""
+        handles: List[BDD] = [self.transition]
+        handles.extend(self.state_vars)
+        handles.extend(self.next_vars)
+        handles.extend(self.input_vars)
+        handles.extend(self.next_functions)
+        handles.extend(self.output_functions)
+        handles.extend(self._transition_by_symbol.values())
+        for outputs in self._outputs_by_symbol.values():
+            handles.extend(outputs)
+        return handles
+
     # -- image operators ---------------------------------------------------------
 
     def image(self, states: BDD) -> BDD:
-        """One-step forward image under all inputs."""
-        step = (states & self.transition).exists(
-            self.state_names
-        ).exists(self.input_names)
+        """One-step forward image under all inputs (fused and-exists)."""
+        step = self.manager.relprod(
+            states, self.transition, self.state_names + self.input_names
+        )
         return step.rename(self._next_to_state)
 
     def preimage(self, states: BDD) -> BDD:
         """One-step backward image under all inputs."""
         primed = states.rename(self._state_to_next)
-        return (primed & self.transition).exists(self.next_names).exists(
-            self.input_names
+        return self.manager.relprod(
+            primed, self.transition, self.next_names + self.input_names
         )
 
     def reachable(self, initial: BDD) -> BDD:
@@ -300,7 +346,7 @@ def product_outputs_equivalent(
         bad = total & mismatch
         if not bad.is_false:
             return False, bad.satisfy_one()
-        step = (total & transition).exists(state_names).exists(input_names)
+        step = manager.relprod(total, transition, state_names + input_names)
         new = step.rename(rename) & ~total
         if new.is_false:
             return True, None

@@ -1,0 +1,506 @@
+"""Symbolic decision procedures for the paper's containment orders.
+
+The explicit path (:mod:`repro.stg.replaceability`,
+:mod:`repro.stg.equivalence`, :mod:`repro.stg.delayed`) enumerates the
+``2**latches``-state STGs and then runs a subset construction that is
+exponential *again* in the worst case -- nothing near ISCAS-89 scale is
+checkable.  This module decides the same three statements entirely with
+BDDs, the way the paper's community (Pixley's SHE, [PSAB94]) ran them:
+
+* **implication** ``C ⊑ D`` (Section 3.3): the greatest fixpoint of the
+  output-compatible pair relation,
+
+  .. math::
+
+     E_0(c, d) = \\forall i.\\ \\lambda_C(c,i) = \\lambda_D(d,i), \\qquad
+     E_{k+1}(c, d) = E_k(c,d) \\wedge
+        \\forall i.\\ E_k(\\delta_C(c,i), \\delta_D(d,i)),
+
+  computed relationally with the fused and-exists
+  (:meth:`~repro.logic.bdd.BDDManager.relprod`) so the product
+  transition relation is never conjoined with anything explicitly.
+  ``C ⊑ D`` iff every C-state has an E-partner in D.
+* **delayed containment** ``Cⁿ ⊑ D`` (Prop 4.2 / Thm 4.5): the
+  image-of-everything chain of :meth:`SymbolicMachine.delayed`
+  intersected with the same partner relation.
+* **safe replacement** ``C ≼ D`` (Section 3.3, [PSAB94]): the subset
+  construction of :func:`repro.stg.replaceability.find_violation`, run
+  as a *symbolic* breadth-first fixpoint.  A search node is a pair
+  ``(A, S)`` where ``A`` is a BDD over C's state variables (every
+  C-state currently sharing the same matching history) and ``S`` a BDD
+  over D's state variables (the D-states whose outputs have matched
+  that history).  One explicit subset per *distinct* matcher set, one
+  BDD for the -- possibly exponentially many -- C-states that reached
+  it: the state-count blow-up of the explicit engine becomes BDD width.
+  ``C ⋠ D`` iff some node with non-empty ``A`` reaches ``S = ∅``; the
+  breadth-first frontier chain then yields a **minimal-length**
+  counterexample input string, reconstructed by walking concrete
+  (input, output) symbols back to a concrete power-up state of C --
+  the same :class:`SafeReplacementViolation` witness the explicit
+  engine emits.
+
+Because ``C ⊑ D  ⇒  C ≼ D`` (Proposition 3.1), the safe-replacement
+check first runs the (cheap, well-scaling) implication fixpoint and
+only falls back to the subset fixpoint when implication fails; pass
+``use_implication_shortcut=False`` to force the subset machinery.
+
+Engine selection
+----------------
+
+:func:`resolve_engine` maps the user-facing ``--engine
+{explicit,symbolic,auto}`` switch to a concrete engine: ``auto`` picks
+the explicit path below :data:`AUTO_SYMBOLIC_LATCH_THRESHOLD` latches
+(where tabulated STGs are cheap and battle-tested) and the symbolic
+path above it.  :func:`set_default_engine` installs a process-wide
+default, mirroring ``repro.sim.compiled.set_default_backend``.
+
+All fixpoints run bounded: the subset search raises
+:class:`~repro.stg.replaceability.SearchBudgetExceeded` beyond
+``max_buckets`` nodes, and every loop garbage-collects the BDD manager
+against its protected roots when the node count passes
+``gc_node_limit``.  Per-operation BDD counters land in ``repro.obs``
+(counters ``bdd.*``, spans ``stg.symbolic.*``) whenever tracing is on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..logic.bdd import BDD, BDDManager
+from ..netlist.circuit import Circuit
+from ..obs.trace import TRACER as _TRACE
+from ..obs.trace import span as _span
+from .replaceability import SafeReplacementViolation, SearchBudgetExceeded
+from .symbolic import SymbolicMachine
+
+__all__ = [
+    "ENGINES",
+    "AUTO_SYMBOLIC_LATCH_THRESHOLD",
+    "MAX_SYMBOLIC_BUCKETS",
+    "GC_NODE_LIMIT",
+    "SymbolicContainmentChecker",
+    "get_default_engine",
+    "set_default_engine",
+    "resolve_engine",
+    "symbolic_implies",
+    "symbolic_machines_equivalent",
+    "symbolic_delayed_implies",
+    "symbolic_delay_needed_for_implication",
+    "symbolic_find_violation",
+    "symbolic_is_safe_replacement",
+]
+
+#: The engine names the CLI exposes.
+ENGINES = ("explicit", "symbolic", "auto")
+
+#: ``auto`` switches to the symbolic engine strictly above this many
+#: latches (on either machine).  Below it the tabulated STG fits in a
+#: few thousand rows and the explicit engines are faster to first
+#: answer; above it STG extraction and the subset construction blow up.
+AUTO_SYMBOLIC_LATCH_THRESHOLD = 9
+
+#: Budget on subset-fixpoint search nodes (distinct ``(A, S)`` buckets
+#: processed), the symbolic analogue of ``MAX_SUBSET_STATES``.
+MAX_SYMBOLIC_BUCKETS = 50000
+
+#: Live-node high-water mark that triggers a mark-and-sweep collection
+#: inside the fixpoint loops.
+GC_NODE_LIMIT = 400000
+
+_DEFAULT_ENGINE = "auto"
+
+
+def get_default_engine() -> str:
+    """The process-wide containment engine (``--engine`` default)."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(name: str) -> None:
+    """Install the process-wide containment engine default."""
+    global _DEFAULT_ENGINE
+    if name not in ENGINES:
+        raise ValueError("unknown engine %r (choose from %s)" % (name, ENGINES))
+    _DEFAULT_ENGINE = name
+
+
+def resolve_engine(
+    engine: Optional[str], c: Optional[Circuit] = None, d: Optional[Circuit] = None
+) -> str:
+    """Map an ``--engine`` value (or ``None`` = process default) to a
+    concrete engine name for the given circuit pair."""
+    name = engine if engine is not None else _DEFAULT_ENGINE
+    if name not in ENGINES:
+        raise ValueError("unknown engine %r (choose from %s)" % (name, ENGINES))
+    if name != "auto":
+        return name
+    latches = max(
+        c.num_latches if c is not None else 0,
+        d.num_latches if d is not None else 0,
+    )
+    return "symbolic" if latches > AUTO_SYMBOLIC_LATCH_THRESHOLD else "explicit"
+
+
+def _check_interfaces(c: Circuit, d: Circuit) -> None:
+    if len(c.inputs) != len(d.inputs) or len(c.outputs) != len(d.outputs):
+        raise ValueError(
+            "machines have mismatched interfaces: %d/%d inputs, %d/%d outputs"
+            % (len(c.inputs), len(d.inputs), len(c.outputs), len(d.outputs))
+        )
+
+
+def _publish_bdd_stats(manager: BDDManager) -> None:
+    """Fold the manager's per-operation counters into the tracer."""
+    if _TRACE.enabled:
+        for key, value in manager.stats.items():
+            if value:
+                _TRACE.incr("bdd.%s" % key, value)
+
+
+class _Bucket:
+    """One node of the symbolic subset fixpoint: the C-states ``a_set``
+    that reached matcher set ``subset`` along the same-length history
+    recorded by the ``parent``/``symbol``/``out`` chain."""
+
+    __slots__ = ("a_set", "subset", "parent", "symbol", "out")
+
+    def __init__(
+        self,
+        a_set: BDD,
+        subset: BDD,
+        parent: Optional["_Bucket"],
+        symbol: Optional[int],
+        out: Optional[int],
+    ) -> None:
+        self.a_set = a_set
+        self.subset = subset
+        self.parent = parent
+        self.symbol = symbol
+        self.out = out
+
+
+class SymbolicContainmentChecker:
+    """Both machines compiled into one BDD manager, with the paper's
+    three containment questions as methods.
+
+    The equivalence relation (the expensive fixpoint) is computed once
+    and shared by :meth:`implies`, :meth:`delayed_implies`,
+    :meth:`delay_needed` and the Proposition 3.1 shortcut of
+    :meth:`find_violation`.
+    """
+
+    def __init__(
+        self,
+        c: Circuit,
+        d: Circuit,
+        *,
+        manager: Optional[BDDManager] = None,
+        gc_node_limit: int = GC_NODE_LIMIT,
+    ) -> None:
+        _check_interfaces(c, d)
+        self.c = c
+        self.d = d
+        self.manager = manager if manager is not None else BDDManager()
+        self.gc_node_limit = gc_node_limit
+        with _span("stg.symbolic.compile"):
+            self.mc = SymbolicMachine(c, self.manager, prefix="c.")
+            self.md = SymbolicMachine(
+                d, self.manager, prefix="d.", input_vars=self.mc.input_vars
+            )
+        self._equivalence: Optional[BDD] = None
+        self._has_partner: Optional[BDD] = None
+
+    # -- GC plumbing -------------------------------------------------------
+
+    def _maybe_collect(self, extra_roots: Iterable[BDD]) -> None:
+        manager = self.manager
+        if manager.live_node_count <= self.gc_node_limit:
+            return
+        roots: List[BDD] = self.mc.roots() + self.md.roots()
+        if self._equivalence is not None:
+            roots.append(self._equivalence)
+        if self._has_partner is not None:
+            roots.append(self._has_partner)
+        roots.extend(extra_roots)
+        manager.collect(roots)
+
+    # -- the pair-equivalence fixpoint ------------------------------------
+
+    def equivalence_relation(self) -> BDD:
+        """The greatest fixpoint ``E(c, d)`` -- state ``c`` of C is
+        equivalent to state ``d`` of D -- over both machines' current
+        state variables."""
+        if self._equivalence is not None:
+            return self._equivalence
+        manager, mc, md = self.manager, self.mc, self.md
+        with _span("stg.symbolic.equivalence"):
+            outputs_match = manager.true
+            for fc, fd in zip(mc.output_functions, md.output_functions):
+                outputs_match = outputs_match & fc.iff(fd)
+            relation = outputs_match.forall(mc.input_names)
+            product = mc.transition & md.transition
+            prime = {**mc._state_to_next, **md._state_to_next}  # noqa: SLF001
+            quantify = mc.input_names + mc.next_names + md.next_names
+            iterations = 0
+            while True:
+                iterations += 1
+                primed = relation.rename(prime)
+                # Pairs with SOME input stepping outside the relation.
+                escaping = manager.relprod(product, ~primed, quantify)
+                refined = relation & ~escaping
+                if refined == relation:
+                    break
+                relation = refined
+                self._maybe_collect([relation, product])
+        self._equivalence = relation
+        self._has_partner = relation.exists(md.state_names)
+        if _TRACE.enabled:
+            _TRACE.incr("stg.symbolic.equivalence_iterations", iterations)
+        _publish_bdd_stats(manager)
+        return relation
+
+    def _partner_states(self) -> BDD:
+        """C-states with at least one equivalent D-state."""
+        self.equivalence_relation()
+        assert self._has_partner is not None
+        return self._has_partner
+
+    # -- the containment questions -----------------------------------------
+
+    def implies(self) -> bool:
+        """The paper's ``C ⊑ D``, decided symbolically."""
+        return self._partner_states().forall(self.mc.state_names).is_true
+
+    def machines_equivalent(self) -> bool:
+        """Classical FSM equivalence ``C ⊑ D ∧ D ⊑ C``."""
+        relation = self.equivalence_relation()
+        forward = self._partner_states().forall(self.mc.state_names).is_true
+        backward = (
+            relation.exists(self.mc.state_names).forall(self.md.state_names).is_true
+        )
+        return forward and backward
+
+    def delayed_implies(self, cycles: int) -> bool:
+        """Decide ``C^cycles ⊑ D`` (Prop 4.2 / Thm 4.5 consequent)."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        partnered = self._partner_states()
+        with _span("stg.symbolic.delayed"):
+            survivors = self.mc.delayed(cycles)
+        return (survivors & ~partnered).is_false
+
+    def delay_needed(self, *, max_cycles: Optional[int] = None) -> Optional[int]:
+        """The least n with ``C^n ⊑ D``, or ``None`` if no delay
+        suffices (the chain stabilised without containment)."""
+        partnered = self._partner_states()
+        current = self.manager.true
+        chain: List[BDD] = []  # roots: keeps frontier indices stable
+        seen: set = set()
+        n = 0
+        with _span("stg.symbolic.delay_needed"):
+            while max_cycles is None or n <= max_cycles:
+                if (current & ~partnered).is_false:
+                    return n
+                if current.index in seen:
+                    return None
+                seen.add(current.index)
+                chain.append(current)
+                current = self.mc.image(current)
+                n += 1
+                self._maybe_collect(chain + [current, partnered])
+        return None
+
+    # -- safe replacement ---------------------------------------------------
+
+    def find_violation(
+        self,
+        *,
+        max_buckets: int = MAX_SYMBOLIC_BUCKETS,
+        use_implication_shortcut: bool = True,
+    ) -> Optional[SafeReplacementViolation]:
+        """Search for a counterexample to ``C ≼ D``; ``None`` when C is
+        a safe replacement for D.  Minimal-length witness, as for the
+        explicit engine."""
+        if _TRACE.enabled:
+            _TRACE.incr("stg.replaceability.symbolic_checks")
+        with _span("stg.symbolic.safe_replacement"):
+            if use_implication_shortcut and self.implies():
+                # Proposition 3.1: C ⊑ D  ⇒  C ≼ D.
+                return None
+            return self._subset_fixpoint(max_buckets)
+
+    def is_safe_replacement(self, **kwargs) -> bool:
+        """Decide the paper's ``C ≼ D`` symbolically."""
+        return self.find_violation(**kwargs) is None
+
+    def _output_cube(
+        self, machine: SymbolicMachine, symbol: int, out_symbol: int, cache: Dict
+    ) -> BDD:
+        """States of *machine* emitting the encoded *out_symbol* under
+        input *symbol* (MSB-first output encoding, as the STG uses)."""
+        key = (symbol, out_symbol)
+        cached = cache.get(key)
+        if cached is None:
+            width = len(machine.output_functions)
+            cached = self.manager.true
+            for j, fn in enumerate(machine.outputs_for(symbol)):
+                bit = (out_symbol >> (width - 1 - j)) & 1
+                cached = cached & (fn if bit else ~fn)
+            cache[key] = cached
+        return cached
+
+    def _subset_fixpoint(
+        self, max_buckets: int
+    ) -> Optional[SafeReplacementViolation]:
+        manager, mc, md = self.manager, self.mc, self.md
+        num_symbols = 1 << len(self.c.inputs)
+        num_outputs = len(self.c.outputs)
+        out_symbols = range(1 << num_outputs)
+        rename_c = mc._next_to_state  # noqa: SLF001
+        rename_d = md._next_to_state  # noqa: SLF001
+        c_cubes: Dict = {}
+        d_cubes: Dict = {}
+
+        root = _Bucket(manager.true, manager.true, None, None, None)
+        # subset index -> (subset handle, C-states already seen with it)
+        seen: Dict[int, Tuple[BDD, BDD]] = {root.subset.index: (root.subset, root.a_set)}
+        all_buckets: List[_Bucket] = [root]
+        frontier: List[_Bucket] = [root]
+        processed = 0
+
+        while frontier:
+            next_frontier: List[_Bucket] = []
+            for bucket in frontier:
+                processed += 1
+                if processed > max_buckets:
+                    raise SearchBudgetExceeded(
+                        "symbolic safe-replacement search exceeded %d buckets"
+                        % max_buckets
+                    )
+                for symbol in range(num_symbols):
+                    transition_c = mc.transition_for(symbol)
+                    transition_d = md.transition_for(symbol)
+                    for out in out_symbols:
+                        emitting = bucket.a_set & self._output_cube(
+                            mc, symbol, out, c_cubes
+                        )
+                        if emitting.is_false:
+                            continue
+                        matched = bucket.subset & self._output_cube(
+                            md, symbol, out, d_cubes
+                        )
+                        new_subset = manager.relprod(
+                            matched, transition_d, md.state_names
+                        ).rename(rename_d)
+                        if new_subset.is_false:
+                            # No D-state matched this history: violation.
+                            if _TRACE.enabled:
+                                _TRACE.incr("stg.symbolic.buckets", processed)
+                            _publish_bdd_stats(manager)
+                            return self._reconstruct(bucket, symbol, out, emitting)
+                        new_a = manager.relprod(
+                            emitting, transition_c, mc.state_names
+                        ).rename(rename_c)
+                        entry = seen.get(new_subset.index)
+                        previous = entry[1] if entry is not None else manager.false
+                        fresh = new_a & ~previous
+                        if fresh.is_false:
+                            continue
+                        seen[new_subset.index] = (new_subset, previous | fresh)
+                        child = _Bucket(fresh, new_subset, bucket, symbol, out)
+                        all_buckets.append(child)
+                        next_frontier.append(child)
+            frontier = next_frontier
+            self._maybe_collect(
+                [handle for b in all_buckets for handle in (b.a_set, b.subset)]
+                + [pair[1] for pair in seen.values()]
+            )
+        if _TRACE.enabled:
+            _TRACE.incr("stg.symbolic.buckets", processed)
+        _publish_bdd_stats(manager)
+        return None
+
+    def _reconstruct(
+        self, bucket: _Bucket, symbol: int, out: int, emitting: BDD
+    ) -> SafeReplacementViolation:
+        """Walk the frontier chain back to a concrete power-up state of
+        C and the concrete input/output strings of the violation."""
+        manager, mc = self.manager, self.mc
+        prime_c = mc._state_to_next  # noqa: SLF001
+        c_cubes: Dict = {}
+        symbols: List[int] = [symbol]
+        outputs: List[int] = [out]
+        current = emitting  # violating C-states at *bucket*'s depth
+        node = bucket
+        while node.parent is not None:
+            assert node.symbol is not None and node.out is not None
+            symbols.append(node.symbol)
+            outputs.append(node.out)
+            # Parent states that emit node.out and step into `current`.
+            primed = current.rename(prime_c)
+            predecessors = manager.relprod(
+                mc.transition_for(node.symbol), primed, mc.next_names
+            )
+            current = (
+                node.parent.a_set
+                & self._output_cube(mc, node.symbol, node.out, c_cubes)
+                & predecessors
+            )
+            node = node.parent
+        symbols.reverse()
+        outputs.reverse()
+        model = current.satisfy_one()
+        assert model is not None, "violation chain lost its start states"
+        state = 0
+        for name in mc.state_names:
+            state = (state << 1) | int(model.get(name, False))
+        return SafeReplacementViolation(
+            c_state=state,
+            input_symbols=tuple(symbols),
+            c_outputs=tuple(outputs),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Module-level one-shot wrappers.
+# ---------------------------------------------------------------------------
+
+
+def symbolic_implies(c: Circuit, d: Circuit) -> bool:
+    """One-shot ``C ⊑ D`` by BDD fixpoint."""
+    return SymbolicContainmentChecker(c, d).implies()
+
+
+def symbolic_machines_equivalent(c: Circuit, d: Circuit) -> bool:
+    """One-shot FSM equivalence by BDD fixpoint."""
+    return SymbolicContainmentChecker(c, d).machines_equivalent()
+
+
+def symbolic_delayed_implies(c: Circuit, d: Circuit, cycles: int) -> bool:
+    """One-shot ``C^cycles ⊑ D`` by BDD fixpoint."""
+    return SymbolicContainmentChecker(c, d).delayed_implies(cycles)
+
+
+def symbolic_delay_needed_for_implication(
+    c: Circuit, d: Circuit, *, max_cycles: Optional[int] = None
+) -> Optional[int]:
+    """One-shot least n with ``C^n ⊑ D``, or ``None``."""
+    return SymbolicContainmentChecker(c, d).delay_needed(max_cycles=max_cycles)
+
+
+def symbolic_find_violation(
+    c: Circuit,
+    d: Circuit,
+    *,
+    max_buckets: int = MAX_SYMBOLIC_BUCKETS,
+    use_implication_shortcut: bool = True,
+) -> Optional[SafeReplacementViolation]:
+    """One-shot counterexample search for ``C ≼ D``."""
+    return SymbolicContainmentChecker(c, d).find_violation(
+        max_buckets=max_buckets,
+        use_implication_shortcut=use_implication_shortcut,
+    )
+
+
+def symbolic_is_safe_replacement(c: Circuit, d: Circuit, **kwargs) -> bool:
+    """One-shot ``C ≼ D`` decision."""
+    return symbolic_find_violation(c, d, **kwargs) is None

@@ -214,3 +214,227 @@ def test_size_and_num_nodes(m):
     f = (a & b) | c
     assert m.size_of(f) >= 3
     assert m.num_nodes >= m.size_of(f)
+
+
+# ---------------------------------------------------------------------------
+# relprod: the fused and-exists.
+# ---------------------------------------------------------------------------
+
+
+EIGHT_VARS = ["a", "b", "c", "d", "e", "f", "g", "h"]
+
+
+@settings(deadline=None, max_examples=12)
+@given(data=st.data())
+def test_relprod_equals_exists_of_conjunction(data):
+    """``relprod(f, g, V) == exists(V, f & g)`` against brute force,
+    up to 8 variables."""
+    m = BDDManager()
+    width = data.draw(st.integers(2, 8))
+    variables = EIGHT_VARS[:width]
+    for name in variables:
+        m.variable(name)
+    f, f_fn = _random_formula(m, variables, data.draw)
+    g, g_fn = _random_formula(m, variables, data.draw)
+    quantified = data.draw(
+        st.lists(st.sampled_from(variables), min_size=1, unique=True)
+    )
+    fused = m.relprod(f, g, quantified)
+    reference = (f & g).exists(quantified)
+    assert fused == reference  # canonicity: same function, same node
+    # And against the truth table of ∃V. f∧g directly.
+    free = [name for name in variables if name not in quantified]
+    for bits in itertools.product((False, True), repeat=len(free)):
+        env = dict(zip(free, bits))
+        expected = any(
+            f_fn({**env, **dict(zip(quantified, qbits))})
+            and g_fn({**env, **dict(zip(quantified, qbits))})
+            for qbits in itertools.product((False, True), repeat=len(quantified))
+        )
+        assert m.evaluate(fused, {**env, **{q: False for q in quantified}}) == expected
+
+
+def test_relprod_trivial_cases(m):
+    a, b = m.declare("a", "b")
+    assert m.relprod(m.false, a, ["a"]).is_false
+    assert m.relprod(a, m.true, ["a"]).is_true
+    assert m.relprod(a, ~a, ["a"]).is_false
+    # No quantified variables: plain conjunction.
+    assert m.relprod(a, b, []) == (a & b)
+
+
+def test_relprod_rejects_foreign_operands(m):
+    other = BDDManager()
+    with pytest.raises(ValueError):
+        m.relprod(m.variable("a"), other.variable("a"), ["a"])
+
+
+def test_relprod_counters_advance(m):
+    a, b, c = m.declare("a", "b", "c")
+    before = m.stats["relprod_calls"]
+    m.relprod(a & b, b & c, ["b"])
+    assert m.stats["relprod_calls"] > before
+
+
+# ---------------------------------------------------------------------------
+# Garbage collection.
+# ---------------------------------------------------------------------------
+
+
+class TestGarbageCollection:
+    def test_collect_preserves_root_semantics(self):
+        """Brute-force truth tables of protected roots are unchanged by
+        a collection that frees everything else."""
+        m = BDDManager()
+        variables = ["a", "b", "c", "d"]
+        for name in variables:
+            m.variable(name)
+        a, b, c, d = (m.variable(n) for n in variables)
+        keep = (a & b) | (c ^ d)
+        truth = {
+            bits: m.evaluate(keep, dict(zip(variables, bits)))
+            for bits in itertools.product((False, True), repeat=4)
+        }
+        # Garbage: lots of unrelated intermediates.
+        for i in range(6):
+            _ = (a ^ c) & (b | d) & m.cube({"a": bool(i % 2)})
+        freed = m.collect([keep])
+        assert freed > 0
+        for bits, expected in truth.items():
+            assert m.evaluate(keep, dict(zip(variables, bits))) == expected
+
+    @settings(deadline=None, max_examples=15)
+    @given(data=st.data())
+    def test_collect_preserves_semantics_property(self, data):
+        m = BDDManager()
+        variables = EIGHT_VARS[: data.draw(st.integers(2, 6))]
+        for name in variables:
+            m.variable(name)
+        f, f_fn = _random_formula(m, variables, data.draw)
+        garbage, _ = _random_formula(m, variables, data.draw)
+        del garbage
+        m.collect([f])
+        for bits in itertools.product((False, True), repeat=len(variables)):
+            env = dict(zip(variables, bits))
+            assert m.evaluate(f, env) == f_fn(env)
+
+    def test_protect_survives_collect_without_roots(self):
+        m = BDDManager()
+        a, b = m.declare("a", "b")
+        f = m.protect(a & b)
+        m.collect()
+        assert f.satisfy_one() == {"a": True, "b": True}
+
+    def test_unprotect_is_refcounted(self):
+        m = BDDManager()
+        a, b = m.declare("a", "b")
+        f = a ^ b
+        m.protect(f)
+        m.protect(f)
+        m.unprotect(f)
+        m.collect()  # still protected once
+        assert f.count(["a", "b"]) == 2
+
+    def test_freed_slots_are_reused(self):
+        """After a sweep, new allocations fill the free list before
+        growing the node arrays."""
+        m = BDDManager()
+        a, b, c = m.declare("a", "b", "c")
+        garbage = (a ^ b) & (b ^ c) | (a & ~c)
+        before = m.num_nodes
+        freed = m.collect([a, b, c])  # keep the variables, drop the rest
+        assert freed > 0
+        del garbage  # handle invalidated by the sweep
+        rebuilt = (a ^ b) & (b ^ c) | (a & ~c)
+        assert m.num_nodes == before  # reused slots, no array growth
+        assert rebuilt.count(["a", "b", "c"]) == 4
+
+    def test_canonicity_restored_after_collect(self):
+        """Hash-consing stays canonical across a GC: rebuilding an
+        equivalent formula lands on one node index again."""
+        m = BDDManager()
+        a, b = m.declare("a", "b")
+        f = a & b
+        m.collect([f, a, b])
+        g = ~(~a | ~b)  # De Morgan: same function, built differently
+        assert g == f
+
+    def test_collect_stats(self):
+        m = BDDManager()
+        a, b = m.declare("a", "b")
+        _ = a & b
+        m.collect()
+        assert m.stats["gc_runs"] == 1
+        assert m.stats["gc_freed_nodes"] > 0
+        assert m.live_node_count == 2  # only terminals survive
+
+    def test_collect_rejects_foreign_roots(self):
+        m, other = BDDManager(), BDDManager()
+        with pytest.raises(ValueError):
+            m.collect([other.variable("a")])
+
+
+# ---------------------------------------------------------------------------
+# Bounded computed tables.
+# ---------------------------------------------------------------------------
+
+
+class TestCacheEviction:
+    def test_eviction_keeps_hash_consing_canonical(self):
+        """Node-count regression: with a tiny cache limit the op caches
+        flush constantly, but equivalent formulas must still share one
+        node and the unique table must not grow duplicates."""
+        tiny = BDDManager(cache_limit=4)
+        big = BDDManager()
+        variables = ["a", "b", "c", "d", "e"]
+        for m in (tiny, big):
+            for name in variables:
+                m.variable(name)
+
+        def build(m):
+            a, b, c, d, e = (m.variable(n) for n in variables)
+            return ((a & b) | (c & d)) ^ (e & (a | ~d))
+
+        f_tiny, f_big = build(tiny), build(big)
+        assert tiny.stats["cache_evictions"] > 0
+        assert big.stats["cache_evictions"] == 0
+        # Same canonical diagram regardless of eviction...
+        assert tiny.size_of(f_tiny) == big.size_of(f_big)
+        # ...and rebuilding in the evicting manager is a no-op on the
+        # unique table (canonicity -> every node already exists).
+        before = tiny.live_node_count
+        g_tiny = build(tiny)
+        assert g_tiny == f_tiny
+        assert tiny.live_node_count == before
+
+    def test_eviction_preserves_semantics(self):
+        tiny = BDDManager(cache_limit=2)
+        a, b, c = tiny.declare("a", "b", "c")
+        f = (a & b) | (~a & c)
+        for bits in itertools.product((False, True), repeat=3):
+            env = dict(zip(["a", "b", "c"], bits))
+            expected = (bits[0] and bits[1]) or (not bits[0] and bits[2])
+            assert tiny.evaluate(f, env) == expected
+
+    def test_cache_limit_validated(self):
+        with pytest.raises(ValueError):
+            BDDManager(cache_limit=0)
+
+
+def test_stats_counters_present_and_monotone(m):
+    a, b = m.declare("a", "b")
+    _ = a & b
+    _ = (a & b).exists(["a"])
+    for key in (
+        "nodes_created",
+        "ite_calls",
+        "exists_calls",
+        "relprod_calls",
+        "ite_cache_hits",
+        "cache_evictions",
+        "gc_runs",
+        "peak_live_nodes",
+    ):
+        assert key in m.stats
+    assert m.stats["nodes_created"] > 0
+    assert m.stats["peak_live_nodes"] >= m.live_node_count

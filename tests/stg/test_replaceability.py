@@ -12,6 +12,9 @@ from repro.stg.equivalence import implies
 from repro.stg.explicit import STG, extract_stg
 from repro.stg.replaceability import (
     SafeReplacementViolation,
+    SearchBudgetExceeded,
+    decide_safe_replacement,
+    find_safe_replacement_violation,
     find_violation,
     is_safe_replacement,
 )
@@ -64,6 +67,50 @@ def test_interface_mismatch_rejected():
 def test_subset_guard():
     with pytest.raises(MemoryError):
         find_violation(c_stg(), c_stg(), max_states=1)
+
+
+class TestSearchBudgetExceeded:
+    """Budget exhaustion must be a distinguishable, loud failure."""
+
+    def test_is_safe_replacement_raises_not_answers(self):
+        """A tiny budget must raise, never silently return a verdict."""
+        with pytest.raises(SearchBudgetExceeded):
+            is_safe_replacement(c_stg(), c_stg(), max_states=1)
+
+    def test_subclasses_memory_error_for_compatibility(self):
+        assert issubclass(SearchBudgetExceeded, MemoryError)
+        with pytest.raises(MemoryError):
+            is_safe_replacement(c_stg(), c_stg(), max_states=1)
+
+    def test_message_names_the_budget(self):
+        with pytest.raises(SearchBudgetExceeded, match="2 subset states"):
+            find_violation(c_stg(), d_stg(), max_states=2)
+
+    def test_circuit_dispatcher_propagates_budget(self):
+        c = figure1_design_c()
+        with pytest.raises(SearchBudgetExceeded):
+            find_safe_replacement_violation(c, c, engine="explicit", max_states=1)
+
+
+class TestCircuitLevelDispatch:
+    def test_explicit_engine_matches_stg_path(self):
+        c, d = figure1_design_c(), figure1_design_d()
+        violation = find_safe_replacement_violation(c, d, engine="explicit")
+        assert violation == find_violation(c_stg(), d_stg())
+        assert not decide_safe_replacement(c, d, engine="explicit")
+        assert decide_safe_replacement(d, c, engine="explicit")
+
+    def test_symbolic_engine_agrees_on_paper_pair(self):
+        c, d = figure1_design_c(), figure1_design_d()
+        assert find_safe_replacement_violation(
+            c, d, engine="symbolic"
+        ) == find_violation(c_stg(), d_stg())
+        assert decide_safe_replacement(d, c, engine="symbolic")
+
+    def test_unknown_engine_rejected(self):
+        c = figure1_design_c()
+        with pytest.raises(ValueError):
+            decide_safe_replacement(c, c, engine="bogus")
 
 
 @settings(deadline=None, max_examples=15)
