@@ -280,6 +280,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             print("CLS equivalence (exhaustive): DIFFER -- %s" % witness.describe())
             verdict = 1
     if args.stg:
+        from .stg.replaceability import SearchBudgetExceeded
         from .stg.symbolic_replaceability import (
             SymbolicContainmentChecker,
             resolve_engine,
@@ -290,37 +291,45 @@ def cmd_check(args: argparse.Namespace) -> int:
             original.num_latches + len(original.inputs),
             retimed.num_latches + len(retimed.inputs),
         )
-        if engine == "explicit" and bits > args.max_stg_bits:
-            print(
-                "STG analysis: skipped (state space over 2**%d; "
-                "try --engine symbolic)" % args.max_stg_bits
-            )
-        elif engine == "symbolic":
-            checker = SymbolicContainmentChecker(retimed, original)
-            print("containment engine: symbolic (BDD fixpoints)")
-            print("implication  (retimed ⊑ original):", checker.implies())
-            print(
-                "safe replacement (retimed ≼ original):",
-                checker.is_safe_replacement(),
-            )
-            print("least n with retimed^n ⊑ original:", checker.delay_needed())
-        else:
-            from .stg.delayed import delay_needed_for_implication
-            from .stg.equivalence import implies
-            from .stg.replaceability import is_safe_replacement
+        try:
+            if engine == "explicit" and bits > args.max_stg_bits:
+                print(
+                    "STG analysis: skipped (state space over 2**%d; "
+                    "try --engine symbolic)" % args.max_stg_bits
+                )
+            elif engine == "symbolic":
+                checker = SymbolicContainmentChecker(retimed, original)
+                print("containment engine: symbolic (BDD fixpoints)")
+                print("implication  (retimed ⊑ original):", checker.implies())
+                print(
+                    "safe replacement (retimed ≼ original):",
+                    checker.is_safe_replacement(),
+                )
+                print("least n with retimed^n ⊑ original:", checker.delay_needed())
+            else:
+                from .stg.delayed import delay_needed_for_implication
+                from .stg.equivalence import implies
+                from .stg.replaceability import is_safe_replacement
 
-            o_stg = extract_stg(original)
-            r_stg = extract_stg(retimed)
-            print("containment engine: explicit (enumerated STGs)")
-            print("implication  (retimed ⊑ original):", implies(r_stg, o_stg))
+                o_stg = extract_stg(original)
+                r_stg = extract_stg(retimed)
+                print("containment engine: explicit (enumerated STGs)")
+                print("implication  (retimed ⊑ original):", implies(r_stg, o_stg))
+                print(
+                    "safe replacement (retimed ≼ original):",
+                    is_safe_replacement(r_stg, o_stg),
+                )
+                print(
+                    "least n with retimed^n ⊑ original:",
+                    delay_needed_for_implication(r_stg, o_stg),
+                )
+        except SearchBudgetExceeded as exc:
             print(
-                "safe replacement (retimed ≼ original):",
-                is_safe_replacement(r_stg, o_stg),
+                "STG analysis: aborted -- %s (retry with --engine symbolic "
+                "or a bigger budget)" % exc,
+                file=sys.stderr,
             )
-            print(
-                "least n with retimed^n ⊑ original:",
-                delay_needed_for_implication(r_stg, o_stg),
-            )
+            verdict = 2
     return verdict
 
 
@@ -396,14 +405,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
     with obs.span("containment"):
-        from .stg.symbolic_replaceability import SymbolicContainmentChecker
+        from .stg.replaceability import SearchBudgetExceeded, decide_safe_replacement
+        from .stg.symbolic_replaceability import resolve_engine
 
-        checker = SymbolicContainmentChecker(session.current, circuit)
-        safe = checker.is_safe_replacement()
-    print(
-        "containment:   retimed ≼ original: %s (symbolic engine, %d BDD nodes)"
-        % (safe, checker.manager.num_nodes)
-    )
+        engine = resolve_engine(None, session.current, circuit)
+        budget_hit: Optional[str] = None
+        try:
+            safe = decide_safe_replacement(session.current, circuit)
+        except SearchBudgetExceeded as exc:
+            budget_hit = str(exc)
+    if budget_hit is not None:
+        print(
+            "containment:   undecided -- %s (retry with --engine symbolic "
+            "or a bigger budget)" % budget_hit
+        )
+    else:
+        print(
+            "containment:   retimed ≼ original: %s (%s engine)" % (safe, engine)
+        )
 
     with obs.span("fault-grading"):
         simulator = FaultSimulator(circuit, semantics="cls")

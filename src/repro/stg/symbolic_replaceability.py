@@ -348,6 +348,35 @@ class SymbolicContainmentChecker:
             cache[key] = cached
         return cached
 
+    def _subset_roots(
+        self,
+        frontier: Sequence[_Bucket],
+        seen: Dict[int, Tuple[BDD, BDD]],
+        c_cubes: Dict,
+        d_cubes: Dict,
+    ) -> List[BDD]:
+        """The live GC roots of the subset fixpoint: the frontier
+        buckets plus the parent chains a violation would be
+        reconstructed through, every ``seen`` (subset, accumulated-A)
+        pair -- the map is keyed on ``subset.index``, so those nodes
+        must never be recycled -- and both output-cube caches, whose
+        handles are reused across frontier levels."""
+        roots: List[BDD] = []
+        visited: set = set()
+        for bucket in frontier:
+            node: Optional[_Bucket] = bucket
+            while node is not None and id(node) not in visited:
+                visited.add(id(node))
+                roots.append(node.a_set)
+                roots.append(node.subset)
+                node = node.parent
+        for subset, accumulated in seen.values():
+            roots.append(subset)
+            roots.append(accumulated)
+        roots.extend(c_cubes.values())
+        roots.extend(d_cubes.values())
+        return roots
+
     def _subset_fixpoint(
         self, max_buckets: int
     ) -> Optional[SafeReplacementViolation]:
@@ -363,7 +392,6 @@ class SymbolicContainmentChecker:
         root = _Bucket(manager.true, manager.true, None, None, None)
         # subset index -> (subset handle, C-states already seen with it)
         seen: Dict[int, Tuple[BDD, BDD]] = {root.subset.index: (root.subset, root.a_set)}
-        all_buckets: List[_Bucket] = [root]
         frontier: List[_Bucket] = [root]
         processed = 0
 
@@ -407,12 +435,10 @@ class SymbolicContainmentChecker:
                             continue
                         seen[new_subset.index] = (new_subset, previous | fresh)
                         child = _Bucket(fresh, new_subset, bucket, symbol, out)
-                        all_buckets.append(child)
                         next_frontier.append(child)
             frontier = next_frontier
             self._maybe_collect(
-                [handle for b in all_buckets for handle in (b.a_set, b.subset)]
-                + [pair[1] for pair in seen.values()]
+                self._subset_roots(frontier, seen, c_cubes, d_cubes)
             )
         if _TRACE.enabled:
             _TRACE.incr("stg.symbolic.buckets", processed)
