@@ -1,0 +1,175 @@
+"""Lane engines -- int masks vs ``uint64`` word arrays, wall clock.
+
+Not a paper artefact: both engines regenerate every table of the paper
+identically (that is asserted by the differential suites in
+``tests/sim/test_lanes.py``).  This benchmark records where the numpy
+word engine starts paying for itself as lane counts grow, on the two
+lane-bound workloads:
+
+* exhaustive power-up exact sweeps (one lane per power-up state), with
+  the lane count swept 64 -> 16384 via LFSR length plus sampled sweeps
+  up to 2**20 lanes past the exhaustive cap, and
+* fault-partitioned test-set grading, whose inner exact sweeps carry
+  one lane per power-up state of the faulty circuit.
+
+The asserted contract is **bit-for-bit agreement** between the engines
+on every workload; wall-clock ratios are recorded but not asserted
+(they are a property of the host).  The crossover point -- below which
+the Python int masks win on constant factors -- is recorded honestly in
+the artefact either way.  Timings are steady-state (warm-up call first,
+best of three), so one-time codegen is charged to neither engine; note
+that CPython's big-int bitwise kernels are themselves memory-bound C
+loops, so on hosts where they match numpy's the crossover may never be
+reached -- the artefact says so explicitly when that happens.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.bench.generators import lfsr_circuit
+from repro.sim.atpg import generate_tests
+from repro.sim.compiled import get_default_backend, set_default_backend
+from repro.sim.exact import ExactSimulator
+from repro.sim.fault import FaultSimulator
+
+#: LFSR tap sets by latch count: lane count = 2**latches.
+LFSRS = {
+    6: [0, 5],
+    8: [0, 3, 7],
+    10: [0, 3, 5, 9],
+    12: [0, 4, 7, 11],
+    14: [0, 3, 5, 7, 11, 13],
+}
+
+
+def _timed(fn, repeats=3):
+    """Best-of-*repeats* wall clock; the first (warm-up) call pays any
+    per-circuit codegen so the engines are compared steady-state."""
+    result = fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _sequence(circuit, length=8):
+    return [((i * 5 + 3) % 7 < 3,) * len(circuit.inputs) for i in range(length)]
+
+
+def lane_engine_report():
+    rows = []
+    checks = []
+    ratios = []
+
+    # Workload 1: exhaustive exact sweeps, lane count = 2**latches.
+    for latches in (6, 8, 10, 12, 14):
+        circuit = lfsr_circuit(LFSRS[latches])
+        sequence = _sequence(circuit)
+        by_mask = ExactSimulator(circuit, lane_engine="mask")
+        by_words = ExactSimulator(circuit, lane_engine="words")
+        out_m, t_mask = _timed(lambda: by_mask.outputs(sequence))
+        out_w, t_words = _timed(lambda: by_words.outputs(sequence))
+        checks.append(out_w == out_m)
+        checks.append(
+            np.array_equal(
+                by_words.final_states(sequence), by_mask.final_states(sequence)
+            )
+        )
+        ratio = t_mask / t_words if t_words else float("inf")
+        ratios.append((2 ** latches, ratio))
+        rows.append(
+            (
+                "exact sweep, %d lanes x %d cycles" % (2 ** latches, len(sequence)),
+                "%.5f" % t_mask,
+                "%.5f" % t_words,
+                "%.2fx" % ratio,
+            )
+        )
+
+    # Workload 1b: sampled sweeps past the exhaustive cap, to show where
+    # the ratio is heading as lane counts keep growing.
+    big = lfsr_circuit(LFSRS[14])
+    big_sequence = _sequence(big)
+    rng = np.random.default_rng(0)
+    for lanes in (1 << 16, 1 << 18, 1 << 20):
+        states = rng.random((lanes, big.num_latches)) < 0.5
+        by_mask = ExactSimulator(big, lane_engine="mask")
+        by_words = ExactSimulator(big, lane_engine="words")
+        out_m, t_mask = _timed(lambda: by_mask.outputs(big_sequence, states=states))
+        out_w, t_words = _timed(lambda: by_words.outputs(big_sequence, states=states))
+        checks.append(out_w == out_m)
+        ratio = t_mask / t_words if t_words else float("inf")
+        ratios.append((lanes, ratio))
+        rows.append(
+            (
+                "sampled sweep, %d lanes x %d cycles" % (lanes, len(big_sequence)),
+                "%.5f" % t_mask,
+                "%.5f" % t_words,
+                "%.2fx" % ratio,
+            )
+        )
+
+    # Workload 2: fault grading (the engine is chosen by the process
+    # default backend, as the CLI's --backend flag does it).
+    for latches in (6, 10):
+        circuit = lfsr_circuit(LFSRS[latches])
+        tests = generate_tests(circuit, max_attempts=6, max_length=5).tests or [
+            tuple(_sequence(circuit, 5))
+        ]
+        previous = get_default_backend()
+        try:
+            set_default_backend("compiled")
+            verdict_m, t_mask = _timed(
+                lambda: FaultSimulator(circuit).run_test_set(tests)
+            )
+            set_default_backend("words")
+            verdict_w, t_words = _timed(
+                lambda: FaultSimulator(circuit).run_test_set(tests)
+            )
+        finally:
+            set_default_backend(previous)
+        checks.append(verdict_w == verdict_m)
+        rows.append(
+            (
+                "fault grading, %d faults x %d tests (%d lanes)"
+                % (len(verdict_m), len(tests), 2 ** latches),
+                "%.5f" % t_mask,
+                "%.5f" % t_words,
+                "%.2fx" % (t_mask / t_words if t_words else float("inf")),
+            )
+        )
+
+    table = ascii_table(("workload", "mask [s]", "words [s]", "speedup"), rows)
+    # The crossover: the smallest lane count from which words stay ahead.
+    crossover = None
+    for i, (lanes, _) in enumerate(ratios):
+        if all(r >= 1.0 for _, r in ratios[i:]):
+            crossover = lanes
+            break
+    crossover_note = (
+        "words stay ahead of masks from %d lanes on exact sweeps" % crossover
+        if crossover is not None
+        else "words never overtake masks on this host (crossover not reached)"
+    )
+    text = "%s\n%s\nhost: %s CPU core(s); %s; agreement checks: %s" % (
+        banner("Lane engines: int masks vs uint64 words"),
+        table,
+        os.cpu_count(),
+        crossover_note,
+        "all identical" if all(checks) else "MISMATCH",
+    )
+    return text, checks
+
+
+def test_bench_lane_engine(record_artifact):
+    text, checks = lane_engine_report()
+    record_artifact("lane_engine_speedup", text)
+    # The hard requirement is engine agreement, on any host.
+    assert all(checks)

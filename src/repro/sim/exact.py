@@ -13,28 +13,35 @@ retimed circuit from the original (``0·0·1·0`` vs ``0·X·X·X`` for
 Figure 1's D and C), which is what makes the CLS result interesting.
 
 The implementation sweeps every power-up state with the compiled
-lane-mask core (:mod:`repro.sim.compiled`) -- one integer bitmask per
-net carries all ``2**n`` lanes, and the universal/existential verdict
-per output pin is a single mask comparison (``mask == all_lanes`` ->
-all ones, ``mask == 0`` -> all zeros, anything else -> ``X``).  It is
-exact up to :data:`DEFAULT_MAX_LATCHES` latches and falls back to
-random state sampling beyond (sampling keeps the verdict sound for
-``X`` but may erroneously report a definite value; callers that need
-exactness pass ``sample=None`` and accept the latch limit).
+lane-parallel core (:mod:`repro.sim.compiled`): one lane value per net
+carries all ``2**n`` lanes, and the universal/existential verdict per
+output pin is a single all-lanes comparison (all ones -> ``1``, all
+zeros -> ``0``, anything else -> ``X``).  The lane representation is a
+pluggable :class:`~repro.sim.compiled.LaneBackend` -- integer bitmasks
+(``mask``) or numpy ``uint64`` word arrays (``words``); both produce
+bit-for-bit identical verdicts.  The sweep is exact up to
+:data:`DEFAULT_MAX_LATCHES` latches and falls back to random state
+sampling beyond (sampling keeps the verdict sound for ``X`` but may
+erroneously report a definite value; callers that need exactness pass
+``sample=None`` and accept the latch limit).
 
 Large sweeps shard across worker processes: with ``jobs > 1`` the
 power-up lane space is partitioned into contiguous blocks, each worker
 sweeps its blocks independently (the universal/existential verdict
 distributes over any partition of the lanes), and the per-block
-verdicts are merged deterministically.  This is what makes exhaustive
-sweeps past the historical latch cap practical -- raise ``max_latches``
-and pass ``jobs`` -- while ``jobs=1`` keeps the original single-pass
-code path bit for bit.
+verdicts are merged deterministically.  The bulk arrays of the worker
+payload -- the input sequence and any explicit power-up state rows --
+travel via the shared-memory transport of :mod:`repro.sim.parallel`
+(zero-copy attach; inline pickling as the portability fallback), and
+exhaustive blocks are generated locally from lane indices so the
+``2**n`` state array never crosses a process boundary at all.  This is
+what makes exhaustive sweeps past the historical latch cap practical --
+raise ``max_latches`` and pass ``jobs`` -- while ``jobs=1`` keeps the
+original single-pass code path bit for bit.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -43,9 +50,9 @@ from ..logic.ternary import ONE, T, X, ZERO
 from ..netlist.circuit import Circuit
 from ..obs.trace import TRACER as _TRACE
 from ..obs.trace import span as _span
-from .compiled import column_to_mask, compile_circuit, mask_to_column
+from .compiled import compile_circuit, get_lane_engine, resolve_lane_engine
 from .multi import all_states_array
-from .parallel import resolve_jobs, run_sharded
+from .parallel import make_array_pack, resolve_jobs, run_sharded
 
 __all__ = [
     "DEFAULT_MAX_LATCHES",
@@ -64,64 +71,58 @@ PARALLEL_MIN_LANES = 128
 TernaryVec = Tuple[T, ...]
 
 
-@lru_cache(maxsize=64)
-def _exhaustive_state_masks(num_latches: int) -> Tuple[int, ...]:
-    """Lane masks of the full power-up sweep, cached per latch count.
-
-    Column ``j`` of :func:`all_states_array` depends only on ``n``, so
-    every exhaustive :class:`ExactSimulator` over an ``n``-latch circuit
-    shares one packed copy.
-    """
-    lanes = all_states_array(num_latches)
-    return tuple(column_to_mask(lanes[:, j]) for j in range(num_latches))
-
-
 def _sweep_lane_block(payload, blocks):
     """Worker task: sweep contiguous lane blocks of the power-up space.
 
-    *payload* is ``(circuit, overrides, input_sequence, states, n)``
-    where ``states`` is an explicit power-up row array or ``None`` for
-    exhaustive enumeration (block lanes are then generated locally from
-    the lane indices, so the full ``2**n`` array never crosses the
-    process boundary).  Per block, returns
+    *payload* is ``(circuit, overrides, pack, n, engine_name)`` where
+    *pack* is an array pack (shared-memory or inline, see
+    :func:`repro.sim.parallel.make_array_pack`) carrying the boolean
+    ``"sequence"`` matrix and, for sampled/restricted sweeps, the
+    explicit ``"states"`` rows; exhaustive blocks are generated locally
+    from the lane indices, so the full ``2**n`` array never crosses the
+    process boundary.  Per block, returns
 
-    ``(per_cycle_flags, final_state_masks, block_size)``
+    ``(per_cycle_flags, final_state_columns, block_size)``
 
     with ``per_cycle_flags[t][o] = (all_ones, all_zeros)`` for output
     ``o`` at cycle ``t`` -- the two quantifier verdicts restricted to
-    this block, which is all the merge step needs.
+    this block -- and the final states already unpacked to a boolean
+    ``(block, n)`` array, so the merge step is backend-agnostic.
     """
-    circuit, overrides, sequence, states, num_latches = payload
+    circuit, overrides, pack, num_latches, engine_name = payload
+    engine = get_lane_engine(engine_name)
     compiled = compile_circuit(circuit)
     forced = compiled.forced_binary(overrides)
+    sequence = np.asarray(pack["sequence"], dtype=bool)
+    states = pack["states"] if "states" in pack else None
     results = []
     for start, stop in blocks:
         batch = stop - start
         if states is None:
-            indices = np.arange(start, stop, dtype=np.int64)
-            lanes = (
-                np.stack(
-                    [
-                        ((indices >> (num_latches - 1 - bit)) & 1).astype(bool)
-                        for bit in range(num_latches)
-                    ],
-                    axis=1,
-                )
-                if num_latches
-                else np.zeros((batch, 0), dtype=bool)
-            )
+            state_vals = engine.state_range(start, stop, num_latches)
         else:
             lanes = np.asarray(states[start:stop], dtype=bool)
-        state_masks = tuple(column_to_mask(lanes[:, j]) for j in range(lanes.shape[1]))
-        all_lanes = (1 << batch) - 1
+            state_vals = tuple(
+                engine.pack_column(lanes[:, j]) for j in range(lanes.shape[1])
+            )
+        ctx = engine.context(batch)
         flags = []
         for vector in sequence:
-            input_masks = [all_lanes if bit else 0 for bit in vector]
-            out_masks, state_masks = compiled.step_binary_masks(
-                state_masks, input_masks, all_lanes, forced
+            input_vals = [engine.constant(bool(bit), ctx) for bit in vector]
+            out_vals, state_vals = engine.step_binary(
+                compiled, state_vals, input_vals, ctx, forced
             )
-            flags.append(tuple((m == all_lanes, m == 0) for m in out_masks))
-        results.append((tuple(flags), tuple(state_masks), batch))
+            flags.append(
+                tuple(
+                    (engine.all_ones(v, ctx), engine.all_zeros(v)) for v in out_vals
+                )
+            )
+        final = (
+            np.stack([engine.unpack_column(v, batch) for v in state_vals], axis=1)
+            if state_vals
+            else np.zeros((batch, 0), dtype=bool)
+        )
+        results.append((tuple(flags), final, batch))
     return results
 
 
@@ -147,6 +148,11 @@ class ExactSimulator:
         is split into contiguous blocks and the per-block verdicts
         merged; results are identical to the serial single-pass sweep.
         Sweeps under :data:`PARALLEL_MIN_LANES` lanes stay serial.
+    lane_engine:
+        Lane representation: ``"mask"``, ``"words"`` or ``None`` to
+        track the process default backend (``--backend words`` switches
+        every sweep to the word engine).  Verdicts are bit-for-bit
+        identical across engines.
     """
 
     def __init__(
@@ -158,6 +164,7 @@ class ExactSimulator:
         seed: int = 0,
         overrides=None,
         jobs: Optional[int] = None,
+        lane_engine: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.exhaustive = sample is None
@@ -176,6 +183,7 @@ class ExactSimulator:
             ).astype(bool)
         self.overrides = dict(overrides) if overrides else {}
         self.jobs = jobs
+        self.lane_engine = lane_engine
 
     @property
     def states(self) -> np.ndarray:
@@ -188,32 +196,31 @@ class ExactSimulator:
         self,
         states: Optional[np.ndarray],
         input_sequence: Iterable[Sequence[bool]],
-    ) -> Tuple[List[Tuple[int, ...]], Tuple[int, ...], int, int]:
-        """Run all lanes through the compiled core, staying in mask form."""
+    ) -> Tuple[List[Tuple], Tuple, object, int, object]:
+        """Run all lanes through the compiled core, staying in lane form."""
+        engine = get_lane_engine(self.lane_engine)
         compiled = compile_circuit(self.circuit)
         if states is None and self.exhaustive:
-            state_masks: Tuple[int, ...] = _exhaustive_state_masks(
-                self.circuit.num_latches
-            )
+            state_vals: Tuple = engine.exhaustive_states(self.circuit.num_latches)
             batch = 1 << self.circuit.num_latches
         else:
             lanes = np.asarray(
                 self.states if states is None else states, dtype=bool
             )
             batch = lanes.shape[0]
-            state_masks = tuple(
-                column_to_mask(lanes[:, j]) for j in range(lanes.shape[1])
+            state_vals = tuple(
+                engine.pack_column(lanes[:, j]) for j in range(lanes.shape[1])
             )
-        all_lanes = (1 << batch) - 1
+        ctx = engine.context(batch)
         forced = compiled.forced_binary(self.overrides)
-        outputs_per_cycle: List[Tuple[int, ...]] = []
+        outputs_per_cycle: List[Tuple] = []
         with _span("sim.exact"):
             for vector in input_sequence:
-                input_masks = [all_lanes if bool(bit) else 0 for bit in vector]
-                out_masks, state_masks = compiled.step_binary_masks(
-                    state_masks, input_masks, all_lanes, forced
+                input_vals = [engine.constant(bool(bit), ctx) for bit in vector]
+                out_vals, state_vals = engine.step_binary(
+                    compiled, state_vals, input_vals, ctx, forced
                 )
-                outputs_per_cycle.append(out_masks)
+                outputs_per_cycle.append(out_vals)
         if _TRACE.enabled:
             counters = _TRACE.counters
             counters["sim.exact.sweeps"] = counters.get("sim.exact.sweeps", 0) + 1
@@ -221,7 +228,7 @@ class ExactSimulator:
             counters["sim.exact.cycles"] = (
                 counters.get("sim.exact.cycles", 0) + len(outputs_per_cycle)
             )
-        return outputs_per_cycle, state_masks, all_lanes, batch
+        return outputs_per_cycle, state_vals, ctx, batch, engine
 
     def _batch_size(self, states: Optional[np.ndarray]) -> int:
         if states is not None:
@@ -250,21 +257,34 @@ class ExactSimulator:
             (start, min(start + block_size, batch))
             for start in range(0, batch, block_size)
         ]
+        arrays = {
+            "sequence": (
+                np.asarray(sequence, dtype=bool)
+                if sequence
+                else np.zeros((0, len(self.circuit.inputs)), dtype=bool)
+            )
+        }
+        if explicit is not None:
+            arrays["states"] = explicit
+        pack = make_array_pack(arrays)
         payload = (
             self.circuit,
             self.overrides,
-            sequence,
-            explicit,
+            pack,
             self.circuit.num_latches,
+            resolve_lane_engine(self.lane_engine),
         )
-        with _span("sim.exact"):
-            per_chunk = run_sharded(
-                _sweep_lane_block,
-                payload,
-                blocks,
-                jobs=jobs,
-                label="exact-sweep",
-            )
+        try:
+            with _span("sim.exact"):
+                per_chunk = run_sharded(
+                    _sweep_lane_block,
+                    payload,
+                    blocks,
+                    jobs=jobs,
+                    label="exact-sweep",
+                )
+        finally:
+            pack.release()
         if _TRACE.enabled:
             counters = _TRACE.counters
             counters["sim.exact.sweeps"] = counters.get("sim.exact.sweeps", 0) + 1
@@ -307,13 +327,15 @@ class ExactSimulator:
                         row.append(X)
                 verdicts.append(tuple(row))
             return tuple(verdicts)
-        per_cycle, _, all_lanes, _ = self._sweep(states, input_sequence)
+        per_cycle, _, ctx, _, engine = self._sweep(states, input_sequence)
         return tuple(
             tuple(
-                ONE if mask == all_lanes else (ZERO if mask == 0 else X)
-                for mask in out_masks
+                ONE
+                if engine.all_ones(value, ctx)
+                else (ZERO if engine.all_zeros(value) else X)
+                for value in out_vals
             )
-            for out_masks in per_cycle
+            for out_vals in per_cycle
         )
 
     def final_states(
@@ -324,23 +346,12 @@ class ExactSimulator:
         if jobs:
             sequence = [tuple(vec) for vec in input_sequence]
             blocks = self._sweep_parallel(states, sequence, jobs)
-            parts = []
-            for _, final_masks, batch in blocks:
-                if not final_masks:
-                    parts.append(np.zeros((batch, 0), dtype=bool))
-                else:
-                    parts.append(
-                        np.stack(
-                            [mask_to_column(mask, batch) for mask in final_masks],
-                            axis=1,
-                        )
-                    )
-            return np.concatenate(parts, axis=0)
-        _, final_masks, _, batch = self._sweep(states, input_sequence)
-        if not final_masks:
+            return np.concatenate([final for _, final, _ in blocks], axis=0)
+        _, final_vals, _, batch, engine = self._sweep(states, input_sequence)
+        if not final_vals:
             return np.zeros((batch, 0), dtype=bool)
         return np.stack(
-            [mask_to_column(mask, batch) for mask in final_masks], axis=1
+            [engine.unpack_column(value, batch) for value in final_vals], axis=1
         )
 
 

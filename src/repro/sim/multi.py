@@ -7,10 +7,12 @@ states; this module runs them in lock-step, one lane per state.
 
 Since the compile-once refactor this is a thin ndarray adapter over
 :mod:`repro.sim.compiled`: the state array is packed column-wise into
-integer lane masks (:func:`~repro.sim.compiled.column_to_mask`), one
-pass of the compiled program evaluates every lane, and the resulting
-masks are unpacked back into boolean arrays.  The duplicated
-name-keyed numpy walk this module used to carry is gone.
+lane values of the selected :class:`~repro.sim.compiled.LaneBackend`
+(integer masks or ``uint64`` word arrays), one pass of the compiled
+program evaluates every lane, and the results are unpacked back into
+boolean arrays.  :meth:`BatchedBinarySimulator.run` packs the state
+**once** and stays in lane form across the whole sequence -- only the
+per-cycle outputs and the final state cross the ndarray boundary.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..netlist.circuit import Circuit
-from .compiled import column_to_mask, compile_circuit, mask_to_column
+from .compiled import compile_circuit, get_lane_engine
 
 __all__ = ["BatchedBinarySimulator", "all_states_array"]
 
@@ -50,21 +52,22 @@ class BatchedBinarySimulator:
     States are boolean arrays of shape ``(batch, num_latches)``; all
     lanes see the same input vector each cycle (that is the quantifier
     structure of the powerful simulator: one input sequence, all
-    power-up states).
+    power-up states).  *lane_engine* picks the lane representation
+    (``None`` tracks the process default backend).
     """
 
     def __init__(
-        self, circuit: Circuit, overrides: Optional[Mapping[str, bool]] = None
+        self,
+        circuit: Circuit,
+        overrides: Optional[Mapping[str, bool]] = None,
+        *,
+        lane_engine: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.overrides = dict(overrides) if overrides else {}
+        self.lane_engine = lane_engine
 
-    def step(
-        self, states: np.ndarray, inputs: Sequence[bool]
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """One cycle for every lane: returns ``(outputs, next_states)``
-        of shapes ``(batch, num_outputs)`` and ``(batch, num_latches)``.
-        """
+    def _check_and_pack(self, states: np.ndarray, engine) -> Tuple[List, int]:
         circuit = self.circuit
         states = np.asarray(states, dtype=bool)
         batch = states.shape[0]
@@ -73,40 +76,58 @@ class BatchedBinarySimulator:
                 "state array has %d columns, circuit has %d latches"
                 % (states.shape[1], circuit.num_latches)
             )
-        if len(inputs) != len(circuit.inputs):
+        return (
+            [engine.pack_column(states[:, j]) for j in range(circuit.num_latches)],
+            batch,
+        )
+
+    def _step_packed(self, compiled, engine, state_vals, inputs, ctx):
+        if len(inputs) != compiled.num_inputs:
             raise ValueError(
-                "circuit has %d inputs, got %d" % (len(circuit.inputs), len(inputs))
+                "circuit has %d inputs, got %d" % (compiled.num_inputs, len(inputs))
             )
-        compiled = compile_circuit(circuit)
-        all_lanes = (1 << batch) - 1
-        state_masks = [
-            column_to_mask(states[:, j]) for j in range(circuit.num_latches)
-        ]
-        input_masks = [all_lanes if bool(bit) else 0 for bit in inputs]
-        out_masks, next_masks = compiled.step_binary_masks(
-            state_masks, input_masks, all_lanes, compiled.forced_binary(self.overrides)
+        input_vals = [engine.constant(bool(bit), ctx) for bit in inputs]
+        return engine.step_binary(
+            compiled, state_vals, input_vals, ctx, compiled.forced_binary(self.overrides)
         )
-        outputs = (
-            np.stack([mask_to_column(m, batch) for m in out_masks], axis=1)
-            if out_masks
-            else np.zeros((batch, 0), dtype=bool)
+
+    @staticmethod
+    def _unpack(engine, values, batch: int) -> np.ndarray:
+        if not values:
+            return np.zeros((batch, 0), dtype=bool)
+        return np.stack([engine.unpack_column(v, batch) for v in values], axis=1)
+
+    def step(
+        self, states: np.ndarray, inputs: Sequence[bool]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One cycle for every lane: returns ``(outputs, next_states)``
+        of shapes ``(batch, num_outputs)`` and ``(batch, num_latches)``.
+        """
+        engine = get_lane_engine(self.lane_engine)
+        compiled = compile_circuit(self.circuit)
+        state_vals, batch = self._check_and_pack(states, engine)
+        ctx = engine.context(batch)
+        out_vals, next_vals = self._step_packed(
+            compiled, engine, state_vals, tuple(inputs), ctx
         )
-        next_states = (
-            np.stack([mask_to_column(m, batch) for m in next_masks], axis=1)
-            if next_masks
-            else np.zeros((batch, 0), dtype=bool)
+        return self._unpack(engine, out_vals, batch), self._unpack(
+            engine, next_vals, batch
         )
-        return outputs, next_states
 
     def run(
         self, states: np.ndarray, input_sequence: Iterable[Sequence[bool]]
     ) -> Tuple[List[np.ndarray], np.ndarray]:
         """Simulate a whole sequence; returns ``(outputs_per_cycle,
         final_states)`` where each outputs entry has shape
-        ``(batch, num_outputs)``."""
-        current = np.array(states, dtype=bool)
+        ``(batch, num_outputs)``.  State stays packed between cycles."""
+        engine = get_lane_engine(self.lane_engine)
+        compiled = compile_circuit(self.circuit)
+        state_vals, batch = self._check_and_pack(states, engine)
+        ctx = engine.context(batch)
         outputs_per_cycle: List[np.ndarray] = []
         for vector in input_sequence:
-            outputs, current = self.step(current, tuple(vector))
-            outputs_per_cycle.append(outputs)
-        return outputs_per_cycle, current
+            out_vals, state_vals = self._step_packed(
+                compiled, engine, state_vals, tuple(vector), ctx
+            )
+            outputs_per_cycle.append(self._unpack(engine, out_vals, batch))
+        return outputs_per_cycle, self._unpack(engine, state_vals, batch)

@@ -24,10 +24,12 @@ lane-by-lane in the test-suite; exotic cells fall back to scalar
 evaluation per lane.
 
 Since the compile-once refactor the simulator itself delegates to the
-integer lane-mask core in :mod:`repro.sim.compiled` (same dual-rail
-algebra, one arbitrary-precision mask per rail instead of one ndarray);
-the per-cell helpers below remain as the executable specification of
-the encoding and keep the ndarray rail interface for callers.
+lane-parallel core in :mod:`repro.sim.compiled` through its pluggable
+:class:`~repro.sim.compiled.LaneBackend` (same dual-rail algebra over
+integer masks or ``uint64`` word arrays, one lane value per rail); the
+per-cell helpers below remain as the executable specification of the
+encoding and keep the ndarray rail interface for callers.  Packing and
+unpacking happen column-wise per net, never lane by lane.
 """
 
 from __future__ import annotations
@@ -38,7 +40,7 @@ import numpy as np
 
 from ..logic.ternary import ONE, T, X, ZERO
 from ..netlist.circuit import Circuit
-from .compiled import column_to_mask, compile_circuit, mask_to_column
+from .compiled import compile_circuit, get_lane_engine
 
 __all__ = ["BatchedTernarySimulator", "encode_ternary", "decode_ternary"]
 
@@ -166,10 +168,15 @@ class BatchedTernarySimulator:
     """
 
     def __init__(
-        self, circuit: Circuit, overrides: Optional[Mapping[str, T]] = None
+        self,
+        circuit: Circuit,
+        overrides: Optional[Mapping[str, T]] = None,
+        *,
+        lane_engine: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.overrides = dict(overrides) if overrides else {}
+        self.lane_engine = lane_engine
 
     def step(
         self, state: List[Rail], inputs: List[Rail]
@@ -183,27 +190,36 @@ class BatchedTernarySimulator:
         batch = inputs[0][0].shape[0] if inputs else (
             state[0][0].shape[0] if state else 1
         )
+        engine = get_lane_engine(self.lane_engine)
         compiled = compile_circuit(circuit)
-        all_lanes = (1 << batch) - 1
-        state_masks = [(column_to_mask(c0), column_to_mask(c1)) for c0, c1 in state]
-        input_masks = [(column_to_mask(c0), column_to_mask(c1)) for c0, c1 in inputs]
-        out_masks, next_masks = compiled.step_ternary_masks(
-            state_masks, input_masks, all_lanes, compiled.forced_ternary(self.overrides)
+        ctx = engine.context(batch)
+        state_vals = [
+            (engine.pack_column(c0), engine.pack_column(c1)) for c0, c1 in state
+        ]
+        input_vals = [
+            (engine.pack_column(c0), engine.pack_column(c1)) for c0, c1 in inputs
+        ]
+        out_vals, next_vals = engine.step_ternary(
+            compiled, state_vals, input_vals, ctx, compiled.forced_ternary(self.overrides)
         )
 
         def unpack(rails):
             return [
-                (mask_to_column(a, batch), mask_to_column(b, batch)) for a, b in rails
+                (engine.unpack_column(a, batch), engine.unpack_column(b, batch))
+                for a, b in rails
             ]
 
-        return unpack(out_masks), unpack(next_masks)
+        return unpack(out_vals), unpack(next_vals)
 
     def run_sequences(
         self, sequences: Sequence[Sequence[Sequence[T]]]
     ) -> List[List[Tuple[T, ...]]]:
         """CLS outputs for N equal-length sequences, all from all-X.
 
-        Returns ``results[seq_index][cycle] = output vector``.
+        Returns ``results[seq_index][cycle] = output vector``.  Lane
+        packing is column-wise per input pin (one pass over the batch),
+        and decoding unpacks each output rail once per cycle -- no
+        per-lane bit twiddling on either side.
         """
         batch = len(sequences)
         if batch == 0:
@@ -212,37 +228,28 @@ class BatchedTernarySimulator:
         if any(len(seq) != length for seq in sequences):
             raise ValueError("sequences must share one length")
 
+        engine = get_lane_engine(self.lane_engine)
         compiled = compile_circuit(self.circuit)
-        all_lanes = (1 << batch) - 1
+        ctx = engine.context(batch)
         forced = compiled.forced_ternary(self.overrides)
-        state = [(all_lanes, all_lanes)] * compiled.num_latches  # all-X power-up
+        all_x = engine.constant_ternary(X, ctx)
+        state = [all_x] * compiled.num_latches  # all-X power-up
         per_cycle = []
         for cycle in range(length):
-            inputs = []
-            for pin in range(compiled.num_inputs):
-                can0 = can1 = 0
-                for lane in range(batch):
-                    value = sequences[lane][cycle][pin]
-                    if value is not ONE:
-                        can0 |= 1 << lane
-                    if value is not ZERO:
-                        can1 |= 1 << lane
-                inputs.append((can0, can1))
-            outputs, state = compiled.step_ternary_masks(
-                state, inputs, all_lanes, forced
-            )
+            inputs = [
+                engine.pack_ternary_column(
+                    [sequences[lane][cycle][pin] for lane in range(batch)]
+                )
+                for pin in range(compiled.num_inputs)
+            ]
+            outputs, state = engine.step_ternary(compiled, state, inputs, ctx, forced)
             per_cycle.append(outputs)
 
         results: List[List[Tuple[T, ...]]] = [[] for _ in range(batch)]
         for cycle in range(length):
-            rails = per_cycle[cycle]
+            columns = [
+                engine.unpack_ternary_column(rail, batch) for rail in per_cycle[cycle]
+            ]
             for lane in range(batch):
-                results[lane].append(
-                    tuple(
-                        X
-                        if (a >> lane & 1) and (b >> lane & 1)
-                        else (ONE if (b >> lane & 1) else ZERO)
-                        for a, b in rails
-                    )
-                )
+                results[lane].append(tuple(column[lane] for column in columns))
         return results

@@ -29,10 +29,14 @@ from repro.sim.atpg import generate_tests, grade_test_set
 from repro.sim.exact import ExactSimulator
 from repro.sim.fault import FaultSimulator
 from repro.sim.parallel import (
+    ArrayPack,
     ParallelStats,
+    SharedArrayPack,
+    TRANSPORTS,
     auto_chunk_size,
     get_default_jobs,
     last_stats,
+    make_array_pack,
     resolve_jobs,
     run_sharded,
     set_default_jobs,
@@ -312,6 +316,184 @@ class TestValidityAndRedundancyDeterminism:
         assert sharded.tested == serial.tested
         assert sharded.before == serial.before
         assert sharded.after == serial.after
+
+
+# ---------------------------------------------------------------------------
+# Array transports: inline pickling vs shared memory.
+# ---------------------------------------------------------------------------
+
+
+def _sample_arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "tests": rng.random((5, 3, 2)) < 0.5,  # bool, odd byte count
+        "goods": rng.integers(0, 3, size=(5, 3, 4)).astype(np.uint8),
+        "lengths": np.arange(5, dtype=np.int64),
+        "words": rng.integers(0, 2**63, size=7).astype(np.uint64),
+    }
+
+
+def _read_from_pack(payload, chunk):
+    pack, scale = payload
+    lengths = pack["lengths"]
+    return [int(lengths[i]) * scale for i in chunk]
+
+
+class TestArrayPacks:
+    def test_inline_pack_interface(self):
+        arrays = _sample_arrays()
+        pack = ArrayPack(arrays)
+        assert pack.transport == "pickle"
+        assert set(pack.keys()) == set(arrays)
+        assert "tests" in pack and "absent" not in pack
+        for name, source in arrays.items():
+            assert np.array_equal(pack[name], source)
+        assert pack.nbytes == sum(a.nbytes for a in arrays.values())
+        assert pack.shm_bytes == 0
+        pack.release()  # no-op, callable twice
+        pack.release()
+
+    def test_shared_pack_views_match_sources(self):
+        arrays = _sample_arrays()
+        pack = make_array_pack(arrays, transport="shm")
+        try:
+            assert isinstance(pack, SharedArrayPack)
+            assert pack.transport == "shm"
+            assert set(pack.keys()) == set(arrays)
+            for name, source in arrays.items():
+                view = pack[name]
+                assert np.array_equal(view, source)
+                assert view.dtype == source.dtype
+                assert not view.flags.writeable  # read-only on purpose
+            # The segment is 8-byte aligned per array, so it may carry
+            # padding beyond the raw array bytes -- never less.
+            assert pack.shm_bytes >= pack.nbytes
+        finally:
+            pack.release()
+
+    def test_shared_pack_pickles_by_name_not_by_payload(self):
+        import pickle as pickle_mod
+
+        arrays = {"big": np.ones(100_000, dtype=np.uint64)}
+        pack = make_array_pack(arrays, transport="shm")
+        try:
+            blob = pickle_mod.dumps(pack)
+            # The 800 kB array must not cross the pickle boundary.
+            assert len(blob) < 1000
+            clone = pickle_mod.loads(blob)
+            try:
+                assert np.array_equal(clone["big"], arrays["big"])
+                assert clone.shm_bytes == pack.shm_bytes
+            finally:
+                clone.release()  # attachment close; creator still owns
+            assert np.array_equal(pack["big"], arrays["big"])
+        finally:
+            pack.release()
+
+    def test_transport_selection_and_fallback(self, monkeypatch):
+        arrays = {"a": np.arange(4)}
+        assert isinstance(make_array_pack(arrays, transport="pickle"), ArrayPack)
+        auto = make_array_pack(arrays)
+        assert auto.transport in ("shm", "pickle")  # shm where supported
+        auto.release()
+        with pytest.raises(ValueError, match="transport"):
+            make_array_pack(arrays, transport="smoke-signals")
+        assert "auto" in TRANSPORTS
+
+        def broken(arrays_):
+            raise OSError("no shared memory here")
+
+        monkeypatch.setattr(parallel, "SharedArrayPack", broken)
+        degraded = make_array_pack(arrays)  # auto degrades silently
+        assert isinstance(degraded, ArrayPack)
+        with pytest.raises(OSError):
+            make_array_pack(arrays, transport="shm")  # forced shm does not
+
+    def test_workers_read_through_the_pack(self):
+        pack = make_array_pack(_sample_arrays())
+        try:
+            out = run_sharded(
+                _read_from_pack, (pack, 10), [0, 1, 2, 3, 4], jobs=2, label="pack"
+            )
+        finally:
+            pack.release()
+        assert out == [0, 10, 20, 30, 40]
+        stats = last_stats()
+        if pack.transport == "shm":
+            assert stats.shm_bytes == pack.shm_bytes
+        if not stats.fallback and stats.chunks:
+            assert stats.payload_bytes > 0
+
+
+class TestParallelStatsBytes:
+    def test_defaults_and_summary(self):
+        stats = ParallelStats(
+            label="x", jobs=2, items=3, chunks=1, chunk_size=3,
+            elapsed=0.0, fallback=False,
+        )
+        assert stats.payload_bytes == 0 and stats.shm_bytes == 0
+        assert "payload" not in stats.summary()
+        loud = ParallelStats(
+            label="x",
+            jobs=2,
+            items=3,
+            chunks=1,
+            chunk_size=3,
+            elapsed=0.0,
+            fallback=False,
+            payload_bytes=120,
+            shm_bytes=4096,
+        )
+        assert "120 payload B" in loud.summary()
+        assert "4096 shm B" in loud.summary()
+
+    def test_serial_path_records_shm_bytes(self):
+        pack = make_array_pack({"lengths": np.arange(3, dtype=np.int64)})
+        try:
+            run_sharded(_read_from_pack, (pack, 1), [0, 1, 2], jobs=1, label="serial")
+            stats = last_stats()
+            assert stats.payload_bytes == 0  # nothing pickled
+            assert stats.shm_bytes == pack.shm_bytes
+        finally:
+            pack.release()
+
+
+# ---------------------------------------------------------------------------
+# The words lane engine under sharding: still bit-for-bit.
+# ---------------------------------------------------------------------------
+
+
+class TestWordsBackendDeterminism:
+    def _sequences(self, circuit, length=6, seed=0):
+        rng = random.Random(seed)
+        width = len(circuit.inputs)
+        return [tuple(rng.random() < 0.5 for _ in range(width)) for _ in range(length)]
+
+    def test_exact_sweep_words_parallel_matches_mask_serial(self):
+        circuit = lfsr_circuit([0, 3, 5, 9])
+        seq = self._sequences(circuit)
+        reference = ExactSimulator(circuit, lane_engine="mask")
+        sharded = ExactSimulator(circuit, lane_engine="words", jobs=4)
+        assert sharded.outputs(seq) == reference.outputs(seq)
+        assert np.array_equal(
+            sharded.final_states(seq), reference.final_states(seq)
+        )
+
+    def test_fault_grading_words_backend_matches(self):
+        from repro.sim.compiled import get_default_backend, set_default_backend
+
+        circuit = _s27()
+        tests = generate_tests(circuit, max_attempts=8, max_length=4).tests
+        reference = FaultSimulator(circuit).run_test_set(tests)
+        previous = get_default_backend()
+        set_default_backend("words")
+        try:
+            serial = FaultSimulator(circuit).run_test_set(tests)
+            sharded = FaultSimulator(circuit, jobs=2).run_test_set(tests)
+        finally:
+            set_default_backend(previous)
+        assert serial == reference
+        assert sharded == reference
 
 
 # ---------------------------------------------------------------------------
