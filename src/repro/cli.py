@@ -39,6 +39,12 @@ Subcommands:
 ``bench``       run a standard compile/simulate/retime/fault workload
                 with tracing always on (the before/after artefact for
                 performance work; pair with ``--report``)
+``serve``       run the persistent verification service: circuits,
+                compiled programs and worker processes stay resident
+                across newline-delimited JSON requests over TCP or a
+                unix socket, and compatible CLS sweeps from concurrent
+                requests are micro-batched into shared lane passes
+                (protocol reference: ``docs/SERVICE.md``)
 
 All commands read and write ISCAS-89 ``.bench`` files (BLIF via the
 ``.blif`` extension), the formats the benchmark circuits of the paper's
@@ -467,6 +473,43 @@ def cmd_paper(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.server import ReproServer
+
+    async def run() -> None:
+        server = ReproServer(
+            host=args.host,
+            port=args.port,
+            unix_socket=args.socket,
+            budget=args.budget,
+            batch_window_s=args.batch_window / 1e3,
+            batch_max_lanes=args.batch_lanes,
+            service_report_path=args.service_report,
+        )
+        await server.start()
+        if server.unix_socket:
+            print("serving on %s (unix socket)" % server.address, flush=True)
+        else:
+            print("serving on %s:%d" % tuple(server.address), flush=True)
+        print(
+            'jobs=%d; stop with {"op": "shutdown"} or Ctrl-C' % server.jobs,
+            flush=True,
+        )
+        try:
+            await server.wait_closed()
+        except asyncio.CancelledError:
+            await server.shutdown()
+            raise
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted -- shut down", file=sys.stderr)
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing.
 # ---------------------------------------------------------------------------
@@ -588,6 +631,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true", default=argparse.SUPPRESS)
     p.add_argument("--report", metavar="FILE.json", default=argparse.SUPPRESS)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent verification service (NDJSON over "
+        "TCP/unix socket; see docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=7357, help="TCP port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="serve on a unix-domain socket instead of TCP",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default search budget for containment/equivalence "
+        "analyses (per-request \"budget\" overrides; exhaustion "
+        "answers a budget-exceeded envelope, not a crash)",
+    )
+    p.add_argument(
+        "--batch-window",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="how long the micro-batcher holds the first sweep of a "
+        "batch waiting for compatible company (milliseconds)",
+    )
+    p.add_argument(
+        "--batch-lanes",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="flush a pending batch early at this many lanes",
+    )
+    p.add_argument(
+        "--service-report",
+        metavar="FILE.json",
+        default=None,
+        help="write the rolling service report here on shutdown",
+    )
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

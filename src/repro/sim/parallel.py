@@ -16,6 +16,16 @@ knows how to split such work across CPU cores:
 * a process-wide default worker count (:func:`set_default_jobs`),
   mirroring the backend registry of :mod:`repro.sim.compiled` and set
   from the CLI's top-level ``--jobs`` flag.
+* a reusable pool handle (:class:`WorkerPool`): by default every
+  :func:`run_sharded` call spins a fresh ``ProcessPoolExecutor`` up and
+  tears it down again -- correct, but each call pays worker spawn cost.
+  Long-lived callers (the ``repro serve`` service, repeated bench runs)
+  create one :class:`WorkerPool` and either pass it per call
+  (``run_sharded(..., pool=pool)``) or install it process-wide with
+  :func:`set_shared_pool`; the workers then survive across calls and
+  per-call payloads are delivered through a small per-worker cache
+  keyed by payload token.  Results stay bit-for-bit identical to the
+  one-shot path, which remains the default.
 * chunk-size auto-tuning (:func:`auto_chunk_size`): about four chunks
   per worker, balancing scheduling slack against IPC overhead.
 * a zero-copy array transport (:func:`make_array_pack`): bulk numpy
@@ -50,8 +60,10 @@ this layer existed.
 from __future__ import annotations
 
 import atexit
+import itertools
 import os
 import pickle
+import threading
 import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
@@ -68,10 +80,12 @@ __all__ = [
     "ParallelStats",
     "SharedArrayPack",
     "TRANSPORTS",
+    "WorkerPool",
     "add_observer",
     "auto_chunk_size",
     "default_job_count",
     "get_default_jobs",
+    "get_shared_pool",
     "last_stats",
     "make_array_pack",
     "remove_observer",
@@ -79,6 +93,7 @@ __all__ = [
     "resolve_jobs",
     "run_sharded",
     "set_default_jobs",
+    "set_shared_pool",
 ]
 
 Item = TypeVar("Item")
@@ -165,6 +180,10 @@ class ParallelStats:
     #: Bytes parked in shared-memory segments referenced by the payload
     #: (0 when no :class:`SharedArrayPack` was involved).
     shm_bytes: int = 0
+    #: True when the chunks ran on a reusable :class:`WorkerPool`
+    #: (workers survived from an earlier call) instead of a one-shot
+    #: executor.
+    pooled: bool = False
 
     def summary(self) -> str:
         mode = (
@@ -172,6 +191,8 @@ class ParallelStats:
             if self.jobs <= 1
             else ("serial-fallback" if self.fallback else "%d workers" % self.jobs)
         )
+        if self.pooled:
+            mode += ", pooled"
         text = "%s: %d items, %d chunks (%s), %.3fs" % (
             self.label,
             self.items,
@@ -497,6 +518,155 @@ def _make_executor(jobs: int, payload_bytes: bytes) -> Executor:
     )
 
 
+# ---------------------------------------------------------------------------
+# The reusable pool: workers survive across run_sharded calls.
+# ---------------------------------------------------------------------------
+
+#: Payloads a *pool worker* has already unpickled, keyed by token.  The
+#: one-shot path delivers its payload via the pool initializer (once per
+#: worker, ever); a reusable pool serves many payloads over its
+#: lifetime, so each call stamps its payload bytes with a fresh token
+#: and workers unpickle them at most once each.
+_POOL_PAYLOADS: Dict[int, Any] = {}
+
+#: Distinct payloads a worker keeps unpickled before evicting the
+#: oldest.  Service workloads alternate between a handful of resident
+#: circuits; eight covers that while bounding worker memory.
+POOL_PAYLOAD_CACHE_SIZE = 8
+
+#: Parent-side token source; tokens only need to be unique within the
+#: process that feeds the pool.
+_PAYLOAD_TOKENS = itertools.count(1)
+
+
+def _init_pool_worker() -> None:
+    # Same rule as the one-shot initializer: work dispatched inside a
+    # worker never nests another pool.
+    set_default_jobs(1)
+
+
+def _run_pool_chunk(args):
+    task, token, payload_bytes, chunk = args
+    if token in _POOL_PAYLOADS:
+        payload = _POOL_PAYLOADS[token]
+    else:
+        payload = pickle.loads(payload_bytes)
+        while len(_POOL_PAYLOADS) >= POOL_PAYLOAD_CACHE_SIZE:
+            _POOL_PAYLOADS.pop(next(iter(_POOL_PAYLOADS)))
+        _POOL_PAYLOADS[token] = payload
+    started = perf_counter()
+    part = task(payload, chunk)
+    return list(part), perf_counter() - started
+
+
+def _make_pool_executor(jobs: int) -> Executor:
+    """Build a reusable pool's executor.  Split out so tests can force
+    failure."""
+    return ProcessPoolExecutor(max_workers=jobs, initializer=_init_pool_worker)
+
+
+class WorkerPool:
+    """A reusable worker pool for repeated :func:`run_sharded` calls.
+
+    The one-shot path inside :func:`run_sharded` spawns and joins a
+    fresh ``ProcessPoolExecutor`` per call -- fine for a single sweep,
+    wasteful for a service answering requests all day.  A
+    :class:`WorkerPool` keeps the worker processes alive across calls::
+
+        with WorkerPool(jobs=4) as pool:
+            first = run_sharded(task, payload_a, items_a, pool=pool)
+            again = run_sharded(task, payload_b, items_b, pool=pool)
+
+    Payload delivery changes shape: instead of the pool initializer
+    (which runs once per worker process, ever), each call's pickled
+    payload travels with its chunks under a unique token and every
+    worker unpickles it at most once, caching the last
+    :data:`POOL_PAYLOAD_CACHE_SIZE` payloads.  Results remain
+    bit-for-bit identical to the one-shot and serial paths.
+
+    The executor is created lazily on first use and recreated after a
+    failure (a broken pool degrades that one call to the serial path,
+    exactly like the one-shot executor).  Instances are thread-safe:
+    concurrent :func:`run_sharded` calls may share one pool.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = resolve_jobs(jobs if jobs is not None else get_default_jobs())
+        self._executor: Optional[Executor] = None
+        self._lock = threading.Lock()
+        #: How many times an executor was (re)started -- spawn cost paid.
+        self.launches = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure_executor(self) -> Executor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = _make_pool_executor(self.jobs)
+                self.launches += 1
+            return self._executor
+
+    def _discard_executor(self) -> None:
+        """Drop a (presumed broken) executor; next use starts fresh."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False)
+            except Exception:
+                pass
+
+    @property
+    def started(self) -> bool:
+        """Is a live executor currently attached?"""
+        return self._executor is not None
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _map_chunks(self, task, payload_bytes: bytes, chunks):
+        executor = self._ensure_executor()
+        token = next(_PAYLOAD_TOKENS)
+        return list(
+            executor.map(
+                _run_pool_chunk,
+                [(task, token, payload_bytes, chunk) for chunk in chunks],
+            )
+        )
+
+
+#: The process-wide shared pool (``None`` = every call is one-shot).
+_shared_pool: Optional[WorkerPool] = None
+
+
+def set_shared_pool(pool: Optional[WorkerPool]) -> Optional[WorkerPool]:
+    """Install *pool* as the process-wide default for every
+    :func:`run_sharded` call that resolves to ``jobs > 1`` and does not
+    pass an explicit ``pool=``.  Returns the previously installed pool
+    (not closed -- the caller owns both lifetimes).  ``None``
+    uninstalls."""
+    global _shared_pool
+    previous, _shared_pool = _shared_pool, pool
+    return previous
+
+
+def get_shared_pool() -> Optional[WorkerPool]:
+    """The currently installed process-wide :class:`WorkerPool`."""
+    return _shared_pool
+
+
 def run_sharded(
     task: Task,
     payload: Any,
@@ -505,6 +675,7 @@ def run_sharded(
     jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
     label: str = "parallel",
+    pool: Optional[WorkerPool] = None,
 ) -> List[Result]:
     """Apply *task* to chunks of *items*, preserving per-item order.
 
@@ -527,7 +698,16 @@ def run_sharded(
         Items per chunk (``None`` -> :func:`auto_chunk_size`).
     label:
         Workload name for :class:`ParallelStats`.
+    pool:
+        A reusable :class:`WorkerPool` to run the chunks on (``None`` ->
+        the process-wide shared pool if one is installed, else a
+        one-shot executor).  With a pool and no explicit *jobs*, the
+        pool's worker count is used.
     """
+    if pool is None:
+        pool = _shared_pool
+    if jobs is None and pool is not None:
+        jobs = pool.jobs
     jobs = resolve_jobs(jobs)
     work = list(items)
     started = perf_counter()
@@ -561,14 +741,25 @@ def run_sharded(
 
     size = chunk_size if chunk_size is not None else auto_chunk_size(len(work), jobs)
     chunks = [work[i : i + size] for i in range(0, len(work), size)]
+    pooled = pool is not None
     with _span("parallel.%s" % label):
         try:
             payload_bytes = pickle.dumps(payload)
-            with _make_executor(min(jobs, len(chunks)), payload_bytes) as pool:
-                parts = list(pool.map(_run_chunk, [(task, chunk) for chunk in chunks]))
+            if pool is not None:
+                parts = pool._map_chunks(task, payload_bytes, chunks)
+            else:
+                with _make_executor(min(jobs, len(chunks)), payload_bytes) as executor:
+                    parts = list(
+                        executor.map(_run_chunk, [(task, chunk) for chunk in chunks])
+                    )
         except Exception as exc:  # pool could not start or run -- degrade
+            if pool is not None:
+                pool._discard_executor()
             _warn_fallback_once(label, jobs, exc)
             return _serial(fallback=True)
+
+        if pooled and _TRACE.enabled:
+            _TRACE.incr("parallel.pool.runs")
 
         shm_bytes = _payload_shm_bytes(payload)
         if _TRACE.enabled:
@@ -603,6 +794,7 @@ def run_sharded(
             fallback=False,
             payload_bytes=len(payload_bytes),
             shm_bytes=shm_bytes,
+            pooled=pooled,
         )
     )
     return results

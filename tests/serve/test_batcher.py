@@ -1,0 +1,141 @@
+"""Unit tests for the micro-batcher (:mod:`repro.serve.batcher`).
+
+The contract: compatible sweeps submitted inside one window run as a
+single merged lane pass, and every requester gets back bit-for-bit the
+slice it would have computed alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.bench.paper_circuits import figure1_design_c, figure1_design_d
+from repro.retime.validity import random_ternary_sequences
+from repro.serve.batcher import MicroBatcher
+from repro.serve.report import ServiceStats
+from repro.sim.ternary_multi import BatchedTernarySimulator
+
+
+async def _run_inline(fn):
+    return fn()
+
+
+def _sequences(circuit, count, seed):
+    return random_ternary_sequences(
+        len(circuit.inputs), count=count, length=6, seed=seed
+    )
+
+
+def _batch(coro):
+    return asyncio.run(coro)
+
+
+class TestMerging:
+    def test_compatible_sweeps_merge_into_one_pass(self):
+        circuit = figure1_design_d()
+        stats = ServiceStats()
+        batcher = MicroBatcher(_run_inline, window_s=0.05, stats=stats)
+        seqs_a = _sequences(circuit, 4, seed=0)
+        seqs_b = _sequences(circuit, 3, seed=1)
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.sweep(circuit, seqs_a), batcher.sweep(circuit, seqs_b)
+            )
+
+        got_a, got_b = _batch(scenario())
+        batch = stats.snapshot()["batch"]
+        assert batch["sweeps"] == 1
+        assert batch["jobs"] == 2
+        assert batch["lanes"] == 7
+
+        # Bit-for-bit the results of serving each sweep alone.
+        sim = BatchedTernarySimulator(circuit)
+        assert got_a == sim.run_sequences(seqs_a)
+        assert got_b == sim.run_sequences(seqs_b)
+
+    def test_different_circuits_never_merge(self):
+        d, c = figure1_design_d(), figure1_design_c()
+        stats = ServiceStats()
+        batcher = MicroBatcher(_run_inline, window_s=0.05, stats=stats)
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.sweep(d, _sequences(d, 2, seed=0)),
+                batcher.sweep(c, _sequences(c, 2, seed=0)),
+            )
+
+        _batch(scenario())
+        assert stats.snapshot()["batch"]["sweeps"] == 2
+
+    def test_different_lengths_never_merge(self):
+        circuit = figure1_design_d()
+        stats = ServiceStats()
+        batcher = MicroBatcher(_run_inline, window_s=0.05, stats=stats)
+        short = random_ternary_sequences(1, count=2, length=3, seed=0)
+        long = random_ternary_sequences(1, count=2, length=9, seed=0)
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.sweep(circuit, short), batcher.sweep(circuit, long)
+            )
+
+        got_short, got_long = _batch(scenario())
+        assert stats.snapshot()["batch"]["sweeps"] == 2
+        assert len(got_short[0]) == 3 and len(got_long[0]) == 9
+
+    def test_lane_cap_flushes_early(self):
+        circuit = figure1_design_d()
+        stats = ServiceStats()
+        batcher = MicroBatcher(_run_inline, window_s=10.0, max_lanes=4, stats=stats)
+
+        async def scenario():
+            # Window is effectively forever; only the lane cap can flush.
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    batcher.sweep(circuit, _sequences(circuit, 2, seed=0)),
+                    batcher.sweep(circuit, _sequences(circuit, 2, seed=1)),
+                ),
+                timeout=5.0,
+            )
+
+        _batch(scenario())
+        assert stats.snapshot()["batch"]["sweeps"] == 1
+
+    def test_empty_submission_short_circuits(self):
+        batcher = MicroBatcher(_run_inline)
+
+        async def scenario():
+            return await batcher.sweep(figure1_design_d(), [])
+
+        assert _batch(scenario()) == []
+
+    def test_ragged_submission_rejected(self):
+        batcher = MicroBatcher(_run_inline)
+        ragged = [(((0, 0),),), (((0, 0),), ((0, 0),))]
+
+        async def scenario():
+            return await batcher.sweep(figure1_design_d(), ragged)
+
+        with pytest.raises(ValueError, match="one length"):
+            _batch(scenario())
+
+    def test_simulator_failure_fans_out_to_every_job(self):
+        circuit = figure1_design_d()
+
+        async def boom(fn):
+            raise RuntimeError("simulator exploded")
+
+        batcher = MicroBatcher(boom, window_s=0.05)
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.sweep(circuit, _sequences(circuit, 2, seed=0)),
+                batcher.sweep(circuit, _sequences(circuit, 2, seed=1)),
+                return_exceptions=True,
+            )
+
+        results = _batch(scenario())
+        assert [type(r) for r in results] == [RuntimeError, RuntimeError]

@@ -1,0 +1,105 @@
+"""Unit tests for the wire protocol (:mod:`repro.serve.protocol`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    OPS,
+    PROTOCOL_VERSION,
+    RequestError,
+    encode_response,
+    error_response,
+    ok_response,
+    parse_binary_tests,
+    parse_request_line,
+    require_str,
+    take_int,
+)
+
+
+class TestParseRequestLine:
+    def test_object_round_trip(self):
+        assert parse_request_line('{"op": "ping", "id": 3}') == {"op": "ping", "id": 3}
+
+    @pytest.mark.parametrize("line", ["not json", "[1, 2]", '"string"', "42"])
+    def test_non_objects_are_parse_errors(self, line):
+        with pytest.raises(RequestError) as err:
+            parse_request_line(line)
+        assert err.value.code == "parse-error"
+
+
+class TestEnvelopes:
+    def test_ok_envelope_echoes_id_and_op(self):
+        resp = ok_response({"op": "ping", "id": "abc"}, {"pong": True})
+        assert resp == {
+            "v": PROTOCOL_VERSION,
+            "id": "abc",
+            "op": "ping",
+            "ok": True,
+            "result": {"pong": True},
+        }
+
+    def test_ok_envelope_optional_fields(self):
+        resp = ok_response({"op": "x"}, 1, elapsed_ms=1.23456, report={"schema": 1})
+        assert resp["elapsed_ms"] == 1.235
+        assert resp["report"] == {"schema": 1}
+        assert resp["id"] is None  # omitted id echoes as null
+
+    def test_error_envelope(self):
+        resp = error_response({"op": "load", "id": 9}, "bad-request", "nope")
+        assert resp["ok"] is False
+        assert resp["id"] == 9
+        assert resp["error"] == {"code": "bad-request", "message": "nope"}
+
+    def test_error_envelope_without_request(self):
+        resp = error_response(None, "parse-error", "bad line")
+        assert resp["id"] is None and resp["op"] is None
+
+    def test_unknown_code_rejected_everywhere(self):
+        with pytest.raises(ValueError):
+            error_response(None, "no-such-code", "x")
+        with pytest.raises(ValueError):
+            RequestError("no-such-code", "x")
+
+    def test_encode_is_one_json_line(self):
+        raw = encode_response(ok_response({"op": "ping"}, {}))
+        assert raw.endswith(b"\n") and raw.count(b"\n") == 1
+        assert json.loads(raw)["ok"] is True
+
+    def test_vocabulary_is_frozen(self):
+        # Growing either tuple is fine; the documented members must stay.
+        assert "check-validity" in OPS and "shutdown" in OPS
+        assert "budget-exceeded" in ERROR_CODES and "shutting-down" in ERROR_CODES
+
+
+class TestFieldHelpers:
+    def test_require_str(self):
+        assert require_str({"name": "x"}, "name") == "x"
+        for bad in ({}, {"name": ""}, {"name": 3}):
+            with pytest.raises(RequestError) as err:
+                require_str(bad, "name")
+            assert err.value.code == "bad-request"
+
+    def test_take_int_defaults_and_bounds(self):
+        assert take_int({}, "n", 5) == 5
+        assert take_int({"n": 2}, "n", 5, minimum=1) == 2
+        for bad in ({"n": True}, {"n": "3"}, {"n": -1}):
+            with pytest.raises(RequestError):
+                take_int(bad, "n", 5)
+
+    def test_parse_binary_tests(self):
+        assert parse_binary_tests(["01,10"], 2) == (
+            ((False, True), (True, False)),
+        )
+
+    @pytest.mark.parametrize(
+        "tests", [None, [], "01", [""], ["012"], ["0"], ["01,1"]]
+    )
+    def test_parse_binary_tests_rejects_malformed(self, tests):
+        with pytest.raises(RequestError) as err:
+            parse_binary_tests(tests, 2)
+        assert err.value.code == "bad-request"

@@ -1,0 +1,88 @@
+"""Unit tests for the rolling service report (:mod:`repro.serve.report`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve.report import LATENCY_WINDOW, SERVICE_SCHEMA_VERSION, ServiceStats
+
+
+class TestServiceStats:
+    def test_empty_snapshot_schema(self):
+        snap = ServiceStats().snapshot()
+        assert snap["schema"] == SERVICE_SCHEMA_VERSION
+        assert snap["service"]["requests"] == 0
+        assert snap["requests"] == {}
+        assert snap["latency_s"] == {}
+        assert snap["batch"]["sweeps"] == 0
+        assert snap["cache"] == {
+            "circuits": {"hits": 0, "misses": 0},
+            "parsed": {"hits": 0, "misses": 0},
+        }
+
+    def test_latency_first_p50_max(self):
+        stats = ServiceStats()
+        for elapsed in (0.5, 0.01, 0.02, 0.03):
+            stats.record_request("check-validity", elapsed)
+        rec = stats.snapshot()["latency_s"]["check-validity"]
+        assert rec["count"] == 4
+        assert rec["first"] == 0.5  # the cold request, kept forever
+        assert rec["last"] == 0.03
+        assert rec["max"] == 0.5
+        assert rec["p50"] == 0.02  # nearest-rank over the sorted window
+        assert rec["p99"] == 0.03  # floor rank: 4 samples land below the tail
+
+    def test_latency_window_is_bounded_but_first_survives(self):
+        stats = ServiceStats()
+        stats.record_request("ping", 9.0)
+        for _ in range(LATENCY_WINDOW + 10):
+            stats.record_request("ping", 0.001)
+        rec = stats.snapshot()["latency_s"]["ping"]
+        assert rec["count"] == LATENCY_WINDOW + 11
+        assert rec["first"] == 9.0  # evicted from the window, not from memory
+        assert rec["p99"] == 0.001  # the window no longer holds the outlier
+
+    def test_errors_count_as_requests_with_codes(self):
+        stats = ServiceStats()
+        stats.record_request("load", 0.1)
+        stats.record_error("load", "bad-request")
+        stats.record_error("load", "bad-request")
+        snap = stats.snapshot()
+        assert snap["service"]["requests"] == 3
+        assert snap["service"]["errors"] == 2
+        assert snap["requests"]["load"] == {
+            "count": 3,
+            "errors": {"bad-request": 2},
+        }
+
+    def test_batch_occupancy(self):
+        stats = ServiceStats()
+        stats.record_batch(jobs=1, lanes=20)
+        stats.record_batch(jobs=3, lanes=60)
+        batch = stats.snapshot()["batch"]
+        assert batch == {
+            "sweeps": 2,
+            "jobs": 4,
+            "lanes": 80,
+            "max_jobs_per_sweep": 3,
+            "mean_jobs_per_sweep": 2.0,
+        }
+
+    def test_request_count_helper(self):
+        stats = ServiceStats()
+        stats.record_request("ping", 0.1)
+        stats.record_request("report", 0.1)
+        assert stats.request_count() == 2
+        assert stats.request_count("ping") == 1
+        assert stats.request_count("nope") == 0
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        stats = ServiceStats()
+        stats.record_request("ping", 0.1)
+        stats.record_cache("parsed", hit=False)
+        path = tmp_path / "service-report.json"
+        stats.write(str(path))
+        snap = json.loads(path.read_text())
+        assert snap["schema"] == SERVICE_SCHEMA_VERSION
+        assert snap["requests"]["ping"]["count"] == 1
+        assert snap["cache"]["parsed"]["misses"] == 1

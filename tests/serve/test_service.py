@@ -1,0 +1,450 @@
+"""End-to-end functional tests for the verification service.
+
+Every test talks to a real server over a real socket through the
+reference client.  The headline contracts: verdicts are **bit-for-bit
+identical** to the direct library path the one-shot CLI takes (even
+when concurrent requests batch), budget exhaustion is a structured
+envelope rather than a crash, and shutdown drains in-flight work.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.bench.generators import random_sequential_circuit
+from repro.bench.paper_circuits import figure1_design_c, figure1_design_d
+from repro.netlist.io_bench import write_bench
+from repro.retime.apply import lag_to_moves
+from repro.retime.graph import build_retiming_graph
+from repro.retime.leiserson_saxe import min_period_retiming
+from repro.retime.validity import first_cls_difference, random_ternary_sequences
+from repro.serve import ServeClient, start_background_server
+from repro.sim.fault import FaultSimulator
+from repro.serve.protocol import parse_binary_tests
+from repro.stg.explicit import extract_stg
+from repro.stg.replaceability import find_violation
+
+TESTS = ["010,110,001,111", "101,011,000,110"]
+
+
+def _pair(seed=11):
+    """A random circuit and its min-period retiming, as .bench text."""
+    original = random_sequential_circuit(
+        seed, num_inputs=3, num_gates=24, num_latches=5, name="orig"
+    )
+    retimed = lag_to_moves(
+        original, min_period_retiming(build_retiming_graph(original)).lag
+    ).current
+    return original, retimed
+
+
+@pytest.fixture()
+def server(request):
+    kwargs = getattr(request, "param", {})
+    server, address, thread = start_background_server(**kwargs)
+    yield server, address
+    if thread.is_alive():
+        try:
+            with ServeClient(address) as client:
+                client.request({"op": "shutdown"})
+        except (ConnectionError, OSError):
+            pass
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+@pytest.fixture()
+def client(server):
+    _, address = server
+    with ServeClient(address) as client:
+        yield client
+
+
+def _load_pair(client, original, retimed):
+    client.result({"op": "load", "name": "orig", "bench": write_bench(original)})
+    client.result({"op": "load", "name": "ret", "bench": write_bench(retimed)})
+
+
+class TestLifecycle:
+    def test_ping_reports_configuration(self, client):
+        pong = client.result({"op": "ping"})
+        assert pong["pong"] is True and pong["protocol"] == 1
+        assert pong["circuits"] == []
+
+    def test_responses_carry_the_envelope(self, client):
+        resp = client.request({"op": "ping", "id": ["any", "json", 1]})
+        assert resp["v"] == 1
+        assert resp["id"] == ["any", "json", 1]
+        assert resp["ok"] is True and resp["elapsed_ms"] >= 0
+
+    def test_shutdown_closes_the_server(self, server):
+        _, address = server
+        with ServeClient(address) as client:
+            resp = client.request({"op": "shutdown"})
+            assert resp["ok"] and resp["result"]["draining"] >= 1
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            try:
+                socket.create_connection(tuple(address), timeout=2).close()
+            except OSError:
+                break  # the listener is gone
+            time.sleep(0.02)
+        else:
+            pytest.fail("server still accepting connections after shutdown")
+
+    def test_shutdown_drains_inflight_requests(self, client):
+        _load_pair(client, *_pair())
+        # Pipelined on one connection: the sweep is in flight when the
+        # shutdown lands; draining must still answer it.
+        check, down = client.request_many(
+            [
+                {"op": "check-validity", "original": "orig", "retimed": "ret"},
+                {"op": "shutdown"},
+            ]
+        )
+        assert down["ok"]
+        assert check["ok"] and check["result"]["equivalent"] is True
+
+    def test_service_report_written_on_shutdown(self, tmp_path):
+        path = tmp_path / "service-report.json"
+        server, address, thread = start_background_server(
+            service_report_path=str(path)
+        )
+        with ServeClient(address) as client:
+            client.result({"op": "ping"})
+            client.request({"op": "shutdown"})
+        thread.join(timeout=30)
+        snap = json.loads(path.read_text())
+        assert snap["schema"] == 1
+        assert snap["requests"]["ping"]["count"] == 1
+
+
+class TestRegistry:
+    def test_load_reports_shape_and_residency(self, client):
+        original, _ = _pair()
+        text = write_bench(original)
+        first = client.result({"op": "load", "name": "a", "bench": text})
+        assert first["cached"] is False
+        assert first["inputs"] == 3 and first["latches"] == 5
+        # Same text under another name: a parse-cache hit, one object.
+        client.result({"op": "load", "name": "b", "bench": text})
+        again = client.result({"op": "load", "name": "a", "bench": text})
+        assert again["cached"] is True
+        report = client.result({"op": "report"})
+        assert report["cache"]["parsed"] == {"hits": 2, "misses": 1}
+
+    def test_inline_circuit_references(self, client):
+        original, retimed = _pair()
+        result = client.result(
+            {
+                "op": "check-validity",
+                "original": {"bench": write_bench(original)},
+                "retimed": {"bench": write_bench(retimed)},
+            }
+        )
+        assert result["equivalent"] is True
+
+    def test_unknown_circuit_envelope(self, client):
+        resp = client.request(
+            {"op": "check-validity", "original": "ghost", "retimed": "ghost"}
+        )
+        assert resp["ok"] is False
+        assert resp["error"]["code"] == "unknown-circuit"
+
+    def test_unparseable_circuit_is_bad_request(self, client):
+        resp = client.request(
+            {"op": "load", "name": "junk", "bench": "THIS = ISNT(BENCH"}
+        )
+        assert resp["error"]["code"] == "bad-request"
+
+
+class TestVerdictsMatchDirectPath:
+    """The served answer must equal the one-shot library answer, bit for bit."""
+
+    def test_check_validity_equivalent_pair(self, client):
+        original, retimed = _pair()
+        _load_pair(client, original, retimed)
+        result = client.result(
+            {"op": "check-validity", "original": "orig", "retimed": "ret"}
+        )
+        sequences = random_ternary_sequences(3, count=20, length=12, seed=0)
+        assert first_cls_difference(original, retimed, sequences) is None
+        assert result["equivalent"] is True
+        assert result["first_difference"] is None
+
+    def test_check_validity_locates_the_same_first_difference(self, client):
+        # Figure 1's D against a copy with its output AND inverted to
+        # NAND: definitely CLS-different, and the served (sequence,
+        # cycle) must be exactly what the serial scan reports.
+        d = figure1_design_d()
+        broken = figure1_design_d()
+        cell = broken.cell("and2")
+        from repro.logic.functions import make_gate
+        from repro.netlist.circuit import Cell
+
+        broken.replace_cell(
+            cell.name,
+            Cell(cell.name, make_gate("NAND", 2), cell.inputs, cell.outputs),
+        )
+        client.result({"op": "load", "name": "d", "bench": write_bench(d)})
+        client.result({"op": "load", "name": "x", "bench": write_bench(broken)})
+        result = client.result(
+            {"op": "check-validity", "original": "d", "retimed": "x"}
+        )
+        sequences = random_ternary_sequences(1, count=20, length=12, seed=0)
+        expected = first_cls_difference(d, broken, sequences)
+        assert expected is not None
+        assert result["equivalent"] is False
+        assert result["first_difference"] == {
+            "sequence": expected[0],
+            "cycle": expected[1],
+        }
+
+    def test_exhaustive_and_samples_parameters(self, client):
+        _load_pair(client, *_pair())
+        result = client.result(
+            {
+                "op": "check-validity",
+                "original": "orig",
+                "retimed": "ret",
+                "samples": 5,
+                "length": 7,
+                "exhaustive": True,
+            }
+        )
+        assert result["samples"] == 5 and result["length"] == 7
+        assert result["exhaustive"] == {"equivalent": True, "witness": None}
+
+    def test_safe_replacement_figure1_witness(self, client):
+        d, c = figure1_design_d(), figure1_design_c()
+        client.result({"op": "load", "name": "d", "bench": write_bench(d)})
+        client.result({"op": "load", "name": "c", "bench": write_bench(c)})
+        result = client.result(
+            {"op": "safe-replacement", "candidate": "c", "original": "d"}
+        )
+        violation = find_violation(extract_stg(c), extract_stg(d))
+        assert violation is not None
+        assert result["safe"] is False
+        assert result["witness"] == {
+            "c_state": violation.c_state,
+            "inputs": list(violation.input_symbols),
+            "outputs": list(violation.c_outputs),
+            "length": len(violation.input_symbols),
+        }
+
+    def test_fault_grade_matches_direct_simulator(self, client):
+        original, _ = _pair()
+        text = write_bench(original)
+        client.result({"op": "load", "name": "orig", "bench": text})
+        result = client.result(
+            {"op": "fault-grade", "circuit": "orig", "tests": TESTS}
+        )
+        # The direct path a CLI run takes on the same .bench file (the
+        # write/parse round trip renames internal nets, so fault names
+        # must come from the parsed text, not the generator's object).
+        from repro.netlist.io_bench import parse_bench
+        from repro.netlist.transform import normalize_fanout
+
+        reloaded = normalize_fanout(parse_bench(text, name="orig"))
+        verdicts = FaultSimulator(reloaded, semantics="cls").run_test_set(
+            parse_binary_tests(TESTS, 3)
+        )
+        assert result["faults"] == len(verdicts)
+        assert result["detected"] == sum(
+            1 for v in verdicts.values() if v is not None
+        )
+        assert result["verdicts"] == [
+            {"fault": str(fault), "first_test": index}
+            for fault, index in verdicts.items()
+        ]
+
+    def test_mismatched_interfaces_are_bad_requests(self, client):
+        original, _ = _pair()
+        client.result({"op": "load", "name": "orig", "bench": write_bench(original)})
+        client.result(
+            {"op": "load", "name": "tiny", "bench": write_bench(figure1_design_d())}
+        )
+        resp = client.request(
+            {"op": "check-validity", "original": "orig", "retimed": "tiny"}
+        )
+        assert resp["error"]["code"] == "bad-request"
+
+
+class TestConcurrencyAndBatching:
+    def test_concurrent_mixed_requests_match_direct_path(self, server):
+        """Nine concurrent requests of three types over nine connections,
+        every verdict identical to the direct library path."""
+        _, address = server
+        original, retimed = _pair()
+        with ServeClient(address) as setup:
+            _load_pair(setup, original, retimed)
+
+        sequences = random_ternary_sequences(3, count=20, length=12, seed=0)
+        verdicts = FaultSimulator(original, semantics="cls").run_test_set(
+            parse_binary_tests(TESTS, 3)
+        )
+        expected = {
+            "check-validity": {
+                "equivalent": first_cls_difference(original, retimed, sequences)
+                is None,
+                "first_difference": None,
+            },
+            "safe-replacement": {
+                "safe": find_violation(extract_stg(retimed), extract_stg(original))
+                is None
+            },
+            "fault-grade": {
+                "faults": len(verdicts),
+                "detected": sum(1 for v in verdicts.values() if v is not None),
+            },
+        }
+        requests = [
+            {"op": "check-validity", "original": "orig", "retimed": "ret"},
+            {"op": "safe-replacement", "candidate": "ret", "original": "orig"},
+            {"op": "fault-grade", "circuit": "orig", "tests": TESTS},
+        ] * 3
+
+        def fire(request):
+            with ServeClient(address) as client:
+                return client.request(request)
+
+        with ThreadPoolExecutor(max_workers=len(requests)) as pool:
+            responses = list(pool.map(fire, requests))
+        assert len(responses) >= 8
+        for request, response in zip(requests, responses):
+            assert response["ok"], response
+            result = response["result"]
+            want = expected[request["op"]]
+            assert {key: result[key] for key in want} == want
+
+    @pytest.mark.parametrize(
+        "server", [{"batch_window_s": 0.05}], indirect=True
+    )
+    def test_pipelined_sweeps_batch_and_stay_deterministic(self, server):
+        _, address = server
+        original, retimed = _pair()
+        with ServeClient(address) as client:
+            _load_pair(client, original, retimed)
+            responses = client.request_many(
+                [
+                    {"op": "check-validity", "original": "orig", "retimed": "ret",
+                     "seed": seed}
+                    for seed in range(4)
+                ]
+            )
+            report = client.result({"op": "report"})
+        for seed, response in enumerate(responses):
+            assert response["ok"]
+            sequences = random_ternary_sequences(3, count=20, length=12, seed=seed)
+            expected = first_cls_difference(original, retimed, sequences)
+            assert response["result"]["equivalent"] is (expected is None)
+        # The four concurrent requests merged their compatible sweeps.
+        assert report["batch"]["max_jobs_per_sweep"] > 1
+        assert report["batch"]["jobs"] > report["batch"]["sweeps"]
+
+
+class TestBudgets:
+    def test_budget_exceeded_is_an_envelope_not_a_crash(self, client):
+        _load_pair(client, *_pair())
+        resp = client.request(
+            {
+                "op": "safe-replacement",
+                "candidate": "ret",
+                "original": "orig",
+                "engine": "explicit",
+                "budget": 1,
+            }
+        )
+        assert resp["ok"] is False
+        assert resp["error"]["code"] == "budget-exceeded"
+        assert "undecided" in resp["error"]["message"]
+        # The server survives and still answers.
+        assert client.result({"op": "ping"})["pong"] is True
+
+    def test_server_default_budget_applies(self):
+        server, address, thread = start_background_server(budget=1)
+        try:
+            with ServeClient(address) as client:
+                _load_pair(client, *_pair())
+                resp = client.request(
+                    {
+                        "op": "safe-replacement",
+                        "candidate": "ret",
+                        "original": "orig",
+                        "engine": "explicit",
+                    }
+                )
+                assert resp["error"]["code"] == "budget-exceeded"
+                # A per-request budget overrides the server default.
+                result = client.result(
+                    {
+                        "op": "safe-replacement",
+                        "candidate": "ret",
+                        "original": "orig",
+                        "engine": "explicit",
+                        "budget": 500_000,
+                    }
+                )
+                assert result["safe"] in (True, False)
+                client.request({"op": "shutdown"})
+        finally:
+            thread.join(timeout=30)
+
+    def test_bad_budget_rejected(self, client):
+        _load_pair(client, *_pair())
+        resp = client.request(
+            {
+                "op": "safe-replacement",
+                "candidate": "ret",
+                "original": "orig",
+                "budget": 0,
+            }
+        )
+        assert resp["error"]["code"] == "bad-request"
+
+
+class TestProtocolErrors:
+    def test_parse_error_keeps_the_connection(self, client):
+        client._file.write(b"this is not json\n")
+        client._file.flush()
+        resp = client.recv()
+        assert resp["error"]["code"] == "parse-error"
+        assert client.result({"op": "ping"})["pong"] is True
+
+    def test_unknown_op(self, client):
+        resp = client.request({"op": "transmogrify"})
+        assert resp["error"]["code"] == "unknown-op"
+
+    def test_missing_fields(self, client):
+        assert client.request({"op": "load"})["error"]["code"] == "bad-request"
+        assert (
+            client.request({"op": "fault-grade", "circuit": "x"})["error"]["code"]
+            == "unknown-circuit"
+        )
+
+
+class TestTracing:
+    def test_traced_request_attaches_a_run_report(self, client):
+        _load_pair(client, *_pair())
+        plain = client.result(
+            {"op": "check-validity", "original": "orig", "retimed": "ret"}
+        )
+        resp = client.request(
+            {
+                "op": "check-validity",
+                "original": "orig",
+                "retimed": "ret",
+                "trace": True,
+            }
+        )
+        assert resp["ok"]
+        assert resp["result"] == plain  # tracing never changes the verdict
+        report = resp["report"]
+        assert report["schema"] >= 1
+        assert report["meta"]["label"] == "serve.check-validity"
+        assert report["spans"], "traced request recorded no spans"

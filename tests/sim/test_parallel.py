@@ -533,3 +533,95 @@ class TestPickling:
         for fn in (make_gate("AND", 3), junction(4), make_gate("CONST0", 0)):
             clone = pickle.loads(pickle.dumps(fn))
             assert clone is get_function(fn.name)
+
+
+# ---------------------------------------------------------------------------
+# The reusable pool.
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_reuse_produces_identical_results(self):
+        serial = run_sharded(_doubler, 3, list(range(20)), jobs=1)
+        with parallel.WorkerPool(jobs=2) as pool:
+            first = run_sharded(_doubler, 3, list(range(20)), pool=pool)
+            second = run_sharded(_doubler, 3, list(range(20)), pool=pool)
+            assert pool.launches == 1  # one executor serves both calls
+        assert first == serial
+        assert second == serial
+
+    def test_distinct_payloads_are_not_stale(self):
+        # The worker-side payload cache is keyed by token: a new payload
+        # must never be answered with a cached older one.
+        with parallel.WorkerPool(jobs=2) as pool:
+            assert run_sharded(_doubler, 2, [1, 2, 3], pool=pool) == [2, 4, 6]
+            assert run_sharded(_doubler, 5, [1, 2, 3], pool=pool) == [5, 10, 15]
+            assert run_sharded(_doubler, 2, [1, 2, 3], pool=pool) == [2, 4, 6]
+
+    def test_pool_jobs_resolve_when_unspecified(self):
+        with parallel.WorkerPool(jobs=2) as pool:
+            out = run_sharded(_doubler, 1, [7, 8], pool=pool)  # no jobs= given
+            assert out == [7, 8]
+            stats = last_stats()
+            assert stats.jobs == 2
+            assert stats.pooled
+
+    def test_single_item_stays_serial_even_with_a_pool(self):
+        with parallel.WorkerPool(jobs=2) as pool:
+            assert run_sharded(_doubler, 1, [7], pool=pool) == [7]
+            assert not last_stats().pooled
+            assert pool.launches == 0  # shortcut never spawned workers
+
+    def test_close_is_idempotent_and_lazy(self):
+        pool = parallel.WorkerPool(jobs=2)
+        assert not pool.started  # nothing spawned until first use
+        pool.close()
+        pool.close()
+        assert pool.launches == 0
+
+    def test_shared_pool_install_and_restore(self):
+        pool = parallel.WorkerPool(jobs=2)
+        try:
+            assert parallel.get_shared_pool() is None
+            previous = parallel.set_shared_pool(pool)
+            assert previous is None
+            assert parallel.get_shared_pool() is pool
+            # No pool=/jobs= anywhere: the shared pool carries the call.
+            assert run_sharded(_doubler, 4, [1, 2], label="shared") == [4, 8]
+            assert last_stats().pooled
+        finally:
+            restored = parallel.set_shared_pool(None)
+            assert restored is pool
+            pool.close()
+        run_sharded(_doubler, 4, [1, 2], jobs=1)
+        assert not last_stats().pooled
+
+    def test_broken_pool_falls_back_to_serial(self, monkeypatch):
+        def broken(jobs):
+            raise OSError("no processes in this sandbox")
+
+        monkeypatch.setattr(parallel, "_make_pool_executor", broken)
+        parallel.reset_fallback_warning()
+        try:
+            with parallel.WorkerPool(jobs=2) as pool:
+                with pytest.warns(RuntimeWarning, match="running serially"):
+                    out = run_sharded(_doubler, 2, [1, 2, 3], pool=pool)
+            assert out == [2, 4, 6]
+        finally:
+            parallel.reset_fallback_warning()
+
+    def test_fault_grading_on_a_shared_pool_matches_serial(self):
+        circuit = _s27()
+        tests = generate_tests(circuit, max_attempts=8, seed=3).tests
+        serial = FaultSimulator(circuit).run_test_set(tests)
+        pool = parallel.WorkerPool(jobs=2)
+        parallel.set_shared_pool(pool)
+        old_jobs = get_default_jobs()
+        set_default_jobs(2)
+        try:
+            pooled = FaultSimulator(circuit).run_test_set(tests)
+        finally:
+            set_default_jobs(old_jobs)
+            parallel.set_shared_pool(None)
+            pool.close()
+        assert pooled == serial

@@ -20,6 +20,7 @@ DOCTESTED = [
     "docs/ARCHITECTURE.md",
     "docs/CLI.md",
     "docs/OBSERVABILITY.md",
+    "docs/SERVICE.md",
 ]
 
 
@@ -44,6 +45,14 @@ def test_readme_links_the_docs():
     readme = (ROOT / "README.md").read_text()
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/CLI.md" in readme
+    assert "docs/SERVICE.md" in readme
+
+
+def test_service_manual_cross_links():
+    service = (ROOT / "docs" / "SERVICE.md").read_text()
+    assert "ARCHITECTURE.md" in service and "CLI.md" in service
+    cli = (ROOT / "docs" / "CLI.md").read_text()
+    assert "SERVICE.md" in cli, "CLI.md lost its pointer to the service manual"
 
 
 def test_design_links_architecture():
