@@ -315,6 +315,36 @@ def cmd_check(args: argparse.Namespace) -> int:
                     checker.is_safe_replacement(),
                 )
                 print("least n with retimed^n ⊑ original:", checker.delay_needed())
+            elif engine == "sat":
+                from .sat import (
+                    check_safe_replacement,
+                    sat_delay_needed,
+                    sat_implies,
+                )
+
+                print("containment engine: sat (bounded CNF unrolling)")
+                print(
+                    "implication  (retimed ⊑ original):",
+                    sat_implies(retimed, original),
+                )
+                safe_result = check_safe_replacement(retimed, original)
+                print(
+                    "safe replacement (retimed ≼ original):", safe_result.holds
+                )
+                print(
+                    "least n with retimed^n ⊑ original:",
+                    sat_delay_needed(retimed, original),
+                )
+                if args.certificates:
+                    from .sat.certificates import write_bundle
+
+                    files = write_bundle(
+                        args.certificates, safe_result, retimed, original
+                    )
+                    print(
+                        "certificates: wrote %s to %s"
+                        % (", ".join(files), args.certificates)
+                    )
             else:
                 from .stg.delayed import delay_needed_for_implication
                 from .stg.equivalence import implies
@@ -542,8 +572,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINES,
         default=None,
         help="containment engine for ⊑/≼ analyses: 'explicit' "
-        "(enumerated STGs), 'symbolic' (BDD fixpoints) or 'auto' "
-        "(default: explicit below the latch threshold, symbolic above)",
+        "(enumerated STGs), 'symbolic' (BDD fixpoints), 'sat' (bounded "
+        "CNF unrolling with exportable certificates; decides or exits "
+        "undecided, never guesses) or 'auto' (default: explicit below "
+        "the latch threshold, symbolic above; never sat)",
     )
     parser.add_argument(
         "--trace",
@@ -592,6 +624,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--exhaustive", action="store_true")
     p.add_argument("--stg", action="store_true", help="also run STG implication analysis")
     p.add_argument("--max-stg-bits", type=int, default=16)
+    p.add_argument(
+        "--certificates",
+        metavar="DIR",
+        help="with --engine sat and --stg: write the DIMACS/SMV/witness "
+        "certificate bundle for the safe-replacement verdict here",
+    )
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("redundancy", help="CLS-invariant redundancy removal")

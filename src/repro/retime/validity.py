@@ -245,10 +245,13 @@ def check_retiming_validity(
     """Run the full battery of paper checks on a retiming session.
 
     ``engine`` selects the containment engine (``"explicit"``,
-    ``"symbolic"`` or ``"auto"``; ``None`` = process default).  The
-    symbolic engine has no ``max_stg_bits`` gate -- that gate exists
-    precisely because STG enumeration is exponential, which the BDD
-    fixpoints avoid.
+    ``"symbolic"``, ``"sat"`` or ``"auto"``; ``None`` = process
+    default).  The symbolic and SAT engines have no ``max_stg_bits``
+    gate -- that gate exists precisely because STG enumeration is
+    exponential, which BDD fixpoints and CNF unrolling avoid.  SAT
+    verdicts that exhaust their budgets are reported as ``None``, the
+    same "could not decide" the explicit engine uses for oversized
+    STGs.
     """
     from ..stg.symbolic_replaceability import (
         SymbolicContainmentChecker,
@@ -277,6 +280,38 @@ def check_retiming_validity(
                 safe = None
             delayed = checker.delayed_implies(k)
             min_delay = checker.delay_needed()
+        elif check_stg and resolved == "sat":
+            from ..sat import (
+                sat_delay_needed,
+                sat_delayed_implies,
+                sat_implies,
+                sat_is_safe_replacement,
+            )
+
+            # Every SAT verdict is definitive or budget-exhausted; the
+            # latter degrades to None, never to a guess.  When plain
+            # implication holds, the rest follows without further
+            # solving: C ⊑ D ⇒ C ≼ D (Prop 3.1), Cᵏ ⊑ D for all k
+            # (the delayed chain shrinks) and min_delay = 0.
+            try:
+                implication = sat_implies(retimed, original)
+            except SearchBudgetExceeded:
+                implication = None
+            if implication:
+                safe, delayed, min_delay = True, True, 0
+            else:
+                try:
+                    safe = sat_is_safe_replacement(retimed, original)
+                except SearchBudgetExceeded:
+                    safe = None
+                try:
+                    delayed = sat_delayed_implies(retimed, original, k)
+                except SearchBudgetExceeded:
+                    delayed = None
+                try:
+                    min_delay = sat_delay_needed(retimed, original)
+                except SearchBudgetExceeded:
+                    min_delay = None
         elif check_stg and bits <= max_stg_bits:
             d_stg = extract_stg(original)
             c_stg = extract_stg(retimed)

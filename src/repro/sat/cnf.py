@@ -1,0 +1,142 @@
+"""CNF container with DIMACS round-trip.
+
+Literals follow the DIMACS convention: variables are positive integers
+``1..num_vars`` and a negative literal is the negation of its variable.
+The container is deliberately dumb -- clause simplification lives in
+:mod:`repro.sat.encode`, search in :mod:`repro.sat.solver` -- so the
+DIMACS text :meth:`CNF.to_dimacs` emits is exactly what the solver saw,
+which is what makes the exported certificates independently checkable
+(feed the file to any DIMACS solver and compare verdicts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["CNF", "ParsedDimacs", "parse_dimacs", "check_model"]
+
+
+class CNF:
+    """A growable clause database with a variable allocator."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[Tuple[int, ...]] = []
+        self.comments: List[str] = []
+        self._true_lit = 0
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its positive literal."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add(self, *lits: int) -> None:
+        """Append one clause (a disjunction of literals)."""
+        self.add_clause(lits)
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        clause = tuple(lits)
+        for lit in clause:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError("literal %d out of range" % lit)
+        self.clauses.append(clause)
+
+    def true_lit(self) -> int:
+        """A literal constrained true (allocated once, on first use).
+
+        Constant nets and fixed power-up bits alias to this literal (or
+        its negation) instead of spending a variable each.
+        """
+        if self._true_lit == 0:
+            self._true_lit = self.new_var()
+            self.add(self._true_lit)
+        return self._true_lit
+
+    def comment(self, text: str) -> None:
+        """Record a ``c`` header line for the DIMACS export."""
+        self.comments.append(text)
+
+    def to_dimacs(self) -> str:
+        """Serialize in DIMACS ``cnf`` format (comments first)."""
+        lines = ["c %s" % text if text else "c" for text in self.comments]
+        lines.append("p cnf %d %d" % (self.num_vars, len(self.clauses)))
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class ParsedDimacs:
+    """The result of :func:`parse_dimacs`."""
+
+    num_vars: int
+    clauses: List[Tuple[int, ...]] = field(default_factory=list)
+    comments: List[str] = field(default_factory=list)
+
+
+def parse_dimacs(text: str) -> ParsedDimacs:
+    """Parse DIMACS ``cnf`` text back into clauses.
+
+    The certificate round-trip tests re-read exported miters through
+    this to prove the export is lossless; it accepts exactly the subset
+    of DIMACS that :meth:`CNF.to_dimacs` emits (plus whitespace slack).
+    """
+    num_vars = -1
+    expected_clauses = -1
+    parsed = ParsedDimacs(num_vars=0)
+    pending: List[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("c"):
+            parsed.comments.append(line[2:] if line.startswith("c ") else line[1:])
+            continue
+        if line.startswith("p"):
+            fields = line.split()
+            if len(fields) != 4 or fields[1] != "cnf":
+                raise ValueError("malformed DIMACS header: %r" % line)
+            num_vars, expected_clauses = int(fields[2]), int(fields[3])
+            parsed.num_vars = num_vars
+            continue
+        if num_vars < 0:
+            raise ValueError("clause before DIMACS header")
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                parsed.clauses.append(tuple(pending))
+                pending = []
+            else:
+                if abs(lit) > num_vars:
+                    raise ValueError("literal %d out of range" % lit)
+                pending.append(lit)
+    if pending:
+        raise ValueError("unterminated clause at end of DIMACS input")
+    if expected_clauses >= 0 and len(parsed.clauses) != expected_clauses:
+        raise ValueError(
+            "header promised %d clauses, found %d"
+            % (expected_clauses, len(parsed.clauses))
+        )
+    return parsed
+
+
+def check_model(clauses: Sequence[Sequence[int]], model: Dict[int, bool]) -> bool:
+    """Does *model* (variable -> value) satisfy every clause?
+
+    Used by the solver's own self-check and by tests; unassigned
+    variables count as falsifying, so a partial model never passes.
+    """
+    for clause in clauses:
+        for lit in clause:
+            value = model.get(abs(lit))
+            if value is None:
+                continue
+            if value == (lit > 0):
+                break
+        else:
+            return False
+    return True

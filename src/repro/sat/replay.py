@@ -1,0 +1,244 @@
+"""Independent witness checker: confirm SAT verdicts without SAT.
+
+``python -m repro.sat.replay witness.json --c c.bench --d d.bench``
+
+A :class:`~repro.sat.witness.WitnessTrace` claims that two circuits
+behave in a particular way on a particular input word.  That claim is
+checkable by *running the circuits* -- with the stock simulators
+(:class:`repro.sim.binary.BinarySimulator`,
+:func:`repro.sim.ternary_sim.cls_outputs`), which share no code with
+the CNF encoder beyond the netlist itself.  A witness that replays
+cleanly re-proves the violation from first principles; nothing about
+the CDCL search has to be trusted.
+
+What each kind must survive:
+
+* ``safe-replacement`` -- C started in ``c_state`` must produce exactly
+  the recorded ``c_outputs`` on the recorded word, and **every** D
+  power-up state must differ from that trace at some frame (that is
+  literally the paper's ``C ⋠ D``: an ability of C no power-up state of
+  D has).
+* ``implication`` -- the warm-up word must drive ``c_state`` to a state
+  c0 such that for every D power-up state, the pair's experiment word
+  produces the recorded (and somewhere-different) output traces from c0
+  and that D state.
+* ``cls`` -- both circuits' CLS simulations from all-X on the recorded
+  ternary word must reproduce the recorded output traces, which differ
+  at the final frame.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..logic.ternary import ONE, T
+from ..netlist.circuit import Circuit
+from ..sim.binary import BinarySimulator, state_from_int, state_to_int
+from ..sim.ternary_sim import cls_outputs
+from .witness import WitnessTrace, witness_from_json
+
+__all__ = [
+    "ReplayResult",
+    "replay_witness",
+    "replay_safe_replacement",
+    "replay_implication",
+    "replay_cls",
+    "main",
+]
+
+
+@dataclass
+class ReplayResult:
+    """The outcome of re-simulating a witness against both circuits."""
+
+    ok: bool
+    kind: str
+    checks: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.errors.append(message)
+
+
+def _to_bits(vector: Sequence[T], what: str) -> Tuple[bool, ...]:
+    if any(v not in (0, 1) for v in vector):
+        raise ValueError("%s carries an X but must be definite" % what)
+    return tuple(v is ONE or v == 1 for v in vector)
+
+
+def _bit_word(vectors: Sequence[Sequence[T]], what: str) -> List[Tuple[bool, ...]]:
+    return [_to_bits(vector, what) for vector in vectors]
+
+
+def replay_safe_replacement(
+    c: Circuit, d: Circuit, witness: WitnessTrace
+) -> ReplayResult:
+    """Re-simulate a ``C ⋠ D`` witness with the binary simulator."""
+    result = ReplayResult(ok=True, kind=witness.kind)
+    word = _bit_word(witness.inputs, "safe-replacement input word")
+    expected = _bit_word(witness.c_outputs, "recorded C outputs")
+    if len(word) != witness.frames or len(expected) != witness.frames:
+        result.fail(
+            "trace length %d/%d does not match frames=%d"
+            % (len(word), len(expected), witness.frames)
+        )
+        return result
+    if witness.c_state is None:
+        result.fail("safe-replacement witness carries no C power-up state")
+        return result
+    if not 0 <= witness.c_state < (1 << c.num_latches):
+        result.fail(
+            "C power-up state %d is out of range for %d latch(es) -- "
+            "wrong circuit?" % (witness.c_state, c.num_latches)
+        )
+        return result
+    sim_c = BinarySimulator(c)
+    produced = sim_c.output_sequence(state_from_int(c, witness.c_state), word)
+    result.checks += 1
+    if list(produced) != expected:
+        result.fail(
+            "C from state %d does not reproduce the recorded outputs: %r != %r"
+            % (witness.c_state, list(produced), expected)
+        )
+        return result
+    sim_d = BinarySimulator(d)
+    for d0 in range(1 << d.num_latches):
+        result.checks += 1
+        trace = sim_d.output_sequence(state_from_int(d, d0), word)
+        if list(trace) == expected:
+            result.fail(
+                "D power-up state %d matches the whole word -- not a violation"
+                % d0
+            )
+    return result
+
+
+def replay_implication(c: Circuit, d: Circuit, witness: WitnessTrace) -> ReplayResult:
+    """Re-simulate a ``Cᵏ ⊑ D`` refutation: warm-up, then one
+    distinguishing experiment per D power-up state."""
+    result = ReplayResult(ok=True, kind=witness.kind)
+    if witness.c_state is None:
+        result.fail("implication witness carries no C power-up state")
+        return result
+    if not 0 <= witness.c_state < (1 << c.num_latches):
+        result.fail(
+            "C power-up state %d is out of range for %d latch(es) -- "
+            "wrong circuit?" % (witness.c_state, c.num_latches)
+        )
+        return result
+    sim_c = BinarySimulator(c)
+    sim_d = BinarySimulator(d)
+    # The warm-up word (possibly empty) establishes c0 as reachable.
+    state = state_from_int(c, witness.c_state)
+    for vector in _bit_word(witness.inputs, "warm-up word"):
+        _, state = sim_c.step(state, vector)
+    c0 = state
+    result.checks += 1
+    expected_states = set(range(1 << d.num_latches))
+    seen_states = set()
+    for pair in witness.pairs:
+        seen_states.add(pair.d_state)
+        if not 0 <= pair.d_state < (1 << d.num_latches):
+            result.fail(
+                "D power-up state %d is out of range for %d latch(es) -- "
+                "wrong circuit?" % (pair.d_state, d.num_latches)
+            )
+            continue
+        word = _bit_word(pair.inputs, "experiment word")
+        want_c = _bit_word(pair.c_outputs, "recorded C outputs")
+        want_d = _bit_word(pair.d_outputs, "recorded D outputs")
+        got_c = list(sim_c.output_sequence(c0, word))
+        got_d = list(sim_d.output_sequence(state_from_int(d, pair.d_state), word))
+        result.checks += 1
+        if got_c != want_c:
+            result.fail(
+                "C from c0=%d does not reproduce the recorded outputs vs d0=%d"
+                % (state_to_int(c0), pair.d_state)
+            )
+        if got_d != want_d:
+            result.fail(
+                "D from state %d does not reproduce the recorded outputs"
+                % pair.d_state
+            )
+        if got_c == got_d:
+            result.fail(
+                "c0=%d and d0=%d agree on the experiment word -- no distinction"
+                % (state_to_int(c0), pair.d_state)
+            )
+    missing = expected_states - seen_states
+    if missing:
+        result.fail(
+            "no distinguishing experiment for D power-up state(s) %s"
+            % sorted(missing)
+        )
+    return result
+
+
+def replay_cls(c: Circuit, d: Circuit, witness: WitnessTrace) -> ReplayResult:
+    """Re-simulate a CLS difference with the ternary simulator."""
+    result = ReplayResult(ok=True, kind=witness.kind)
+    word = [tuple(vector) for vector in witness.inputs]
+    got_c = list(cls_outputs(c, word))
+    got_d = list(cls_outputs(d, word))
+    result.checks += 2
+    if got_c != list(witness.c_outputs):
+        result.fail("C's CLS trace does not match the recorded outputs")
+    if got_d != list(witness.d_outputs):
+        result.fail("D's CLS trace does not match the recorded outputs")
+    if got_c == got_d:
+        result.fail("the CLS traces agree on the whole word -- no difference")
+    return result
+
+
+def replay_witness(c: Circuit, d: Circuit, witness: WitnessTrace) -> ReplayResult:
+    """Dispatch on ``witness.kind``."""
+    if witness.kind == "safe-replacement":
+        return replay_safe_replacement(c, d, witness)
+    if witness.kind == "implication":
+        return replay_implication(c, d, witness)
+    if witness.kind == "cls":
+        return replay_cls(c, d, witness)
+    raise ValueError("unknown witness kind %r" % witness.kind)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI shim: exit 0 when the witness replays cleanly, 1 when not."""
+    from ..netlist.io_bench import parse_bench
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sat.replay",
+        description="Re-simulate a repro.sat witness against both circuits "
+        "with the stock simulators (no SAT involved).",
+    )
+    parser.add_argument("witness", help="witness JSON file")
+    parser.add_argument("--c", required=True, help="candidate circuit (.bench)")
+    parser.add_argument("--d", required=True, help="reference circuit (.bench)")
+    args = parser.parse_args(argv)
+    with open(args.witness, "r", encoding="utf-8") as handle:
+        witness = witness_from_json(handle.read())
+
+    def load(path: str) -> Circuit:
+        with open(path, "r", encoding="utf-8") as handle:
+            return parse_bench(handle.read(), name=path)
+
+    c = load(args.c)
+    d = load(args.d)
+    result = replay_witness(c, d, witness)
+    if result.ok:
+        print(
+            "witness OK: %s violation confirmed by re-simulation (%d checks)"
+            % (result.kind, result.checks)
+        )
+        return 0
+    print("witness REJECTED (%s):" % result.kind, file=sys.stderr)
+    for error in result.errors:
+        print("  - %s" % error, file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,339 @@
+"""A pure-Python CDCL SAT solver (the MiniSat recipe, unadorned).
+
+The pieces are the classical ones:
+
+* **two-watched-literal propagation** -- each clause is watched by its
+  first two literals; only clauses watching a literal that just became
+  false are visited, everything else is untouched on backtracking;
+* **1-UIP conflict analysis** -- resolve the conflict clause backwards
+  along the trail until exactly one literal of the current decision
+  level remains, learn that clause, backjump to its assertion level;
+* **VSIDS-style activity** -- variables touched by conflict analysis
+  are bumped, activities decay geometrically, decisions pick the hottest
+  unassigned variable (lazy max-heap) with saved phases;
+* **Luby restarts** -- search restarts on the ``luby(i) * 128`` conflict
+  schedule, keeping learned clauses.
+
+Budgets are first-class: ``max_conflicts`` / ``max_decisions`` raise
+:class:`~repro.stg.replaceability.SearchBudgetExceeded` -- the same
+exception the explicit subset search and the symbolic bucket fixpoint
+use -- so the CLI's exit-code-2 path and the service's
+``budget-exceeded`` envelope work unchanged for this engine.
+
+Every satisfying assignment is re-checked against the clause database
+before being returned (:func:`repro.sat.cnf.check_model`); a CDCL bug
+surfaces as a hard error, never as a wrong verdict.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..stg.replaceability import SearchBudgetExceeded
+from .cnf import check_model
+
+__all__ = ["Solver", "SolverStats", "luby"]
+
+_UNASSIGNED = -1
+_RESTART_BASE = 128
+_ACTIVITY_DECAY = 0.95
+_ACTIVITY_RESCALE = 1e100
+
+
+def luby(i: int) -> int:
+    """The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+    (0-indexed).  Term i of the sequence is ``2**(k-1)`` when
+    ``i+1 == 2**k - 1``; otherwise recurse on the tail of the current
+    block."""
+    i += 1
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+class SolverStats:
+    """Counters the engine folds into the ``sat.*`` obs namespace."""
+
+    __slots__ = ("conflicts", "decisions", "propagations", "restarts", "learned")
+
+    def __init__(self) -> None:
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.learned = 0
+
+
+class Solver:
+    """Solve one CNF instance; construct fresh per :meth:`solve` call."""
+
+    def __init__(
+        self,
+        num_vars: int,
+        clauses: Sequence[Sequence[int]],
+        *,
+        max_conflicts: Optional[int] = None,
+        max_decisions: Optional[int] = None,
+    ) -> None:
+        self.num_vars = num_vars
+        self.max_conflicts = max_conflicts
+        self.max_decisions = max_decisions
+        self.stats = SolverStats()
+        self.assign: List[int] = [_UNASSIGNED] * (num_vars + 1)
+        self.level: List[int] = [0] * (num_vars + 1)
+        self.reason: List[Optional[List[int]]] = [None] * (num_vars + 1)
+        self.phase: List[bool] = [False] * (num_vars + 1)
+        self.activity: List[float] = [0.0] * (num_vars + 1)
+        self.var_inc = 1.0
+        # Lazy max-heap over (-activity, var); stale entries (assigned
+        # vars, outdated activities) are discarded on pop.  Bumps and
+        # unassignments push, so the true maximum is always present.
+        self._heap: List[Tuple[float, int]] = [
+            (0.0, var) for var in range(1, num_vars + 1)
+        ]
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        # watches[lit] lists the clauses currently watching literal lit
+        # (offset by num_vars so negative literals index directly).
+        self._woff = num_vars
+        self.watches: List[List[List[int]]] = [
+            [] for _ in range(2 * num_vars + 1)
+        ]
+        self.ok = True
+        self._input_clauses = [tuple(clause) for clause in clauses]
+        for clause in self._input_clauses:
+            if not self._add_clause(list(clause)):
+                self.ok = False
+                break
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _watchlist(self, lit: int) -> List[List[int]]:
+        return self.watches[lit + self._woff]
+
+    def _value(self, lit: int) -> int:
+        value = self.assign[abs(lit)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if lit > 0 else 1 - value
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> None:
+        var = abs(lit)
+        self.assign[var] = 1 if lit > 0 else 0
+        self.level[var] = self._decision_level()
+        self.reason[var] = reason
+        self.phase[var] = lit > 0
+        self.trail.append(lit)
+
+    def _add_clause(self, lits: List[int]) -> bool:
+        """Install an input clause; returns False on immediate UNSAT.
+
+        Construction runs entirely at decision level 0, so literals
+        already false there are permanently false and can be dropped
+        (and clauses with a true literal skipped) before watching.
+        """
+        seen = set()
+        clause: List[int] = []
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology
+            value = self._value(lit)
+            if value == 1:
+                return True  # satisfied at level 0
+            if value == 0:
+                continue  # permanently false literal
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            return False
+        if len(clause) == 1:
+            self._enqueue(clause[0], None)
+            return self._propagate() is None
+        self._watchlist(clause[0]).append(clause)
+        self._watchlist(clause[1]).append(clause)
+        return True
+
+    # -- propagation ------------------------------------------------------
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Exhaust unit propagation; returns a conflicting clause or None."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            self.stats.propagations += 1
+            false_lit = -lit
+            watchers = self._watchlist(false_lit)
+            self.watches[false_lit + self._woff] = []
+            keep = self._watchlist(false_lit)
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                i += 1
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    keep.append(clause)
+                    continue
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watchlist(clause[1]).append(clause)
+                        break
+                else:
+                    keep.append(clause)
+                    if self._value(first) == 0:
+                        keep.extend(watchers[i:])
+                        self.qhead = len(self.trail)
+                        return clause
+                    self._enqueue(first, clause)
+        return None
+
+    # -- conflict analysis ------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > _ACTIVITY_RESCALE:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1.0 / _ACTIVITY_RESCALE
+            self.var_inc *= 1.0 / _ACTIVITY_RESCALE
+        heapq.heappush(self._heap, (-self.activity[var], var))
+
+    def _analyze(self, conflict: List[int]) -> Tuple[List[int], int]:
+        """1-UIP learning: returns (learned clause, backjump level).
+
+        The asserting literal ends up at position 0 of the learned
+        clause, the highest-level remaining literal at position 1 (so
+        the clause is correctly watched the moment it is installed).
+        """
+        current = self._decision_level()
+        learnt: List[int] = [0]
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        p: Optional[int] = None
+        index = len(self.trail) - 1
+        clause = conflict
+        while True:
+            for q in clause[1 if p is not None else 0:]:
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= current:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            p = self.trail[index]
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self.reason[abs(p)]
+            assert reason is not None
+            clause = reason
+        learnt[0] = -p
+        if len(learnt) == 1:
+            return learnt, 0
+        # Move the literal with the highest decision level to slot 1.
+        best = max(range(1, len(learnt)), key=lambda k: self.level[abs(learnt[k])])
+        learnt[1], learnt[best] = learnt[best], learnt[1]
+        return learnt, self.level[abs(learnt[1])]
+
+    def _backtrack(self, target_level: int) -> None:
+        while self._decision_level() > target_level:
+            bound = self.trail_lim.pop()
+            while len(self.trail) > bound:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.assign[var] = _UNASSIGNED
+                self.reason[var] = None
+                heapq.heappush(self._heap, (-self.activity[var], var))
+        self.qhead = len(self.trail)
+
+    # -- decisions --------------------------------------------------------
+
+    def _pick_branch_var(self) -> Optional[int]:
+        while self._heap:
+            negact, var = heapq.heappop(self._heap)
+            if self.assign[var] == _UNASSIGNED and -negact >= self.activity[var]:
+                return var
+        # The heap only holds candidates; fall back to a scan in case
+        # every remaining entry was stale.
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] == _UNASSIGNED:
+                return var
+        return None
+
+    # -- the search loop --------------------------------------------------
+
+    def solve(self) -> Optional[Dict[int, bool]]:
+        """A satisfying assignment (variable -> bool), or None (UNSAT).
+
+        Raises :class:`SearchBudgetExceeded` when the conflict or
+        decision budget runs out before a verdict.
+        """
+        if not self.ok:
+            return None
+        if self._propagate() is not None:
+            return None
+        restart_limit = luby(self.stats.restarts) * _RESTART_BASE
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                if self._decision_level() == 0:
+                    return None
+                if (
+                    self.max_conflicts is not None
+                    and self.stats.conflicts > self.max_conflicts
+                ):
+                    raise SearchBudgetExceeded(
+                        "SAT search exceeded %d conflicts" % self.max_conflicts
+                    )
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learnt) > 1:
+                    self._watchlist(learnt[0]).append(learnt)
+                    self._watchlist(learnt[1]).append(learnt)
+                    self.stats.learned += 1
+                self._enqueue(learnt[0], learnt if len(learnt) > 1 else None)
+                self.var_inc *= 1.0 / _ACTIVITY_DECAY
+                continue
+            if conflicts_here >= restart_limit:
+                self.stats.restarts += 1
+                restart_limit = luby(self.stats.restarts) * _RESTART_BASE
+                conflicts_here = 0
+                self._backtrack(0)
+                continue
+            var = self._pick_branch_var()
+            if var is None:
+                model = {
+                    v: self.assign[v] == 1 for v in range(1, self.num_vars + 1)
+                }
+                if not check_model(self._input_clauses, model):
+                    raise AssertionError(
+                        "CDCL returned a model that fails the clause re-check"
+                    )
+                return model
+            self.stats.decisions += 1
+            if (
+                self.max_decisions is not None
+                and self.stats.decisions > self.max_decisions
+            ):
+                raise SearchBudgetExceeded(
+                    "SAT search exceeded %d decisions" % self.max_decisions
+                )
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(var if self.phase[var] else -var, None)

@@ -1,0 +1,135 @@
+"""Replayable witness traces -- the portable half of a SAT certificate.
+
+A :class:`WitnessTrace` is everything an independent checker needs to
+confirm a violation verdict **without trusting the SAT engine**: the
+offending power-up state, the input word (three-valued, so CLS
+witnesses carry their Xs), and the output traces the two circuits are
+claimed to produce.  :mod:`repro.sat.replay` re-simulates the trace
+with the stock simulators and compares.
+
+The JSON layout (version 1) spells ternary vectors as strings over
+``0``/``1``/``X``, one character per pin, one vector per frame::
+
+    {"format": "repro.sat.witness", "v": 1, "kind": "safe-replacement",
+     "c": "fig1-c", "d": "fig1-d", "frames": 2, "c_state": 2,
+     "inputs": ["0", "1"], "c_outputs": ["00", "01"], ...}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..logic.ternary import T, format_ternary, parse_ternary_string
+
+__all__ = ["ImplicationPair", "WitnessTrace", "witness_to_json", "witness_from_json"]
+
+#: The witness kinds, in the order the engine produces them.
+KINDS = ("safe-replacement", "implication", "cls")
+
+Vector = Tuple[T, ...]
+
+
+@dataclass(frozen=True)
+class ImplicationPair:
+    """One per-D-power-up-state distinguishing experiment.
+
+    Refuting ``C ⊑ D`` needs, for a single C state, a (possibly
+    different) distinguishing input word against **every** D power-up
+    state; each pair records one of them with both output traces.
+    """
+
+    d_state: int
+    inputs: Tuple[Vector, ...]
+    c_outputs: Tuple[Vector, ...]
+    d_outputs: Tuple[Vector, ...]
+
+
+@dataclass(frozen=True)
+class WitnessTrace:
+    """A violation witness, as emitted by :mod:`repro.sat.engine`.
+
+    ``kind`` selects which fields are meaningful:
+
+    * ``"safe-replacement"`` -- ``c_state`` + ``inputs`` is an input
+      word after which no D power-up state has matched ``c_outputs``;
+    * ``"implication"`` -- ``c_state`` plus one :class:`ImplicationPair`
+      per D power-up state (``inputs``/``c_outputs`` are empty);
+    * ``"cls"`` -- ``inputs`` is a ternary word on which the two
+      all-X-started CLS simulations produce ``c_outputs`` vs
+      ``d_outputs``, differing at the final frame.
+    """
+
+    kind: str
+    c_name: str
+    d_name: str
+    frames: int
+    c_state: Optional[int]
+    inputs: Tuple[Vector, ...] = ()
+    c_outputs: Tuple[Vector, ...] = ()
+    d_outputs: Tuple[Vector, ...] = ()
+    pairs: Tuple[ImplicationPair, ...] = field(default=())
+
+
+def _format(vectors: Sequence[Vector]) -> list:
+    return ["".join(format_ternary(v) for v in vector) for vector in vectors]
+
+
+def _parse(texts: Sequence[str]) -> Tuple[Vector, ...]:
+    return tuple(parse_ternary_string(text) for text in texts)
+
+
+def witness_to_json(witness: WitnessTrace) -> str:
+    """Serialize to the version-1 JSON exchange form."""
+    payload = {
+        "format": "repro.sat.witness",
+        "v": 1,
+        "kind": witness.kind,
+        "c": witness.c_name,
+        "d": witness.d_name,
+        "frames": witness.frames,
+        "c_state": witness.c_state,
+        "inputs": _format(witness.inputs),
+        "c_outputs": _format(witness.c_outputs),
+        "d_outputs": _format(witness.d_outputs),
+        "pairs": [
+            {
+                "d_state": pair.d_state,
+                "inputs": _format(pair.inputs),
+                "c_outputs": _format(pair.c_outputs),
+                "d_outputs": _format(pair.d_outputs),
+            }
+            for pair in witness.pairs
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def witness_from_json(text: str) -> WitnessTrace:
+    """Parse the JSON exchange form back (strict on format/version)."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro.sat.witness" or payload.get("v") != 1:
+        raise ValueError("not a repro.sat.witness v1 document")
+    kind = payload["kind"]
+    if kind not in KINDS:
+        raise ValueError("unknown witness kind %r" % kind)
+    return WitnessTrace(
+        kind=kind,
+        c_name=payload["c"],
+        d_name=payload["d"],
+        frames=int(payload["frames"]),
+        c_state=payload["c_state"],
+        inputs=_parse(payload["inputs"]),
+        c_outputs=_parse(payload["c_outputs"]),
+        d_outputs=_parse(payload["d_outputs"]),
+        pairs=tuple(
+            ImplicationPair(
+                d_state=int(entry["d_state"]),
+                inputs=_parse(entry["inputs"]),
+                c_outputs=_parse(entry["c_outputs"]),
+                d_outputs=_parse(entry["d_outputs"]),
+            )
+            for entry in payload.get("pairs", ())
+        ),
+    )

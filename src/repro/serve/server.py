@@ -548,14 +548,48 @@ class ReproServer:
         }
         if request.get("exhaustive"):
             budget = self._budget(request)
-            kwargs = {"max_pairs": budget} if budget is not None else {}
-            witness = decide_cls_equivalence(original, retimed, **kwargs)
-            result["exhaustive"] = {
-                "equivalent": witness is None,
-                "witness": witness.describe() if witness is not None else None,
-            }
-            if witness is not None:
-                result["equivalent"] = False
+            engine = request.get("engine")
+            if engine is not None and engine not in ENGINES:
+                raise RequestError(
+                    "bad-request", "engine must be one of %s" % (ENGINES,)
+                )
+            if engine == "sat":
+                # Bounded CNF hunt for a distinguishing ternary word; a
+                # blown conflict budget raises SearchBudgetExceeded
+                # (a MemoryError), which the dispatcher maps to the
+                # structured budget-exceeded envelope.
+                from ..sat import check_cls_equivalence
+
+                kwargs = {"max_conflicts": budget} if budget is not None else {}
+                verdict = check_cls_equivalence(original, retimed, **kwargs)
+                described = None
+                if verdict.witness is not None:
+                    from ..logic.ternary import format_ternary
+
+                    word = ",".join(
+                        "".join(format_ternary(v) for v in vector)
+                        for vector in verdict.witness.inputs
+                    )
+                    described = (
+                        "CLS outputs differ at cycle %d on ternary word %s"
+                        % (verdict.witness.frames - 1, word)
+                    )
+                result["exhaustive"] = {
+                    "equivalent": verdict.holds,
+                    "engine": "sat",
+                    "witness": described,
+                }
+                if not verdict.holds:
+                    result["equivalent"] = False
+            else:
+                kwargs = {"max_pairs": budget} if budget is not None else {}
+                witness = decide_cls_equivalence(original, retimed, **kwargs)
+                result["exhaustive"] = {
+                    "equivalent": witness is None,
+                    "witness": witness.describe() if witness is not None else None,
+                }
+                if witness is not None:
+                    result["equivalent"] = False
         return result
 
     async def _check_validity_batched(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -602,6 +636,13 @@ class ReproServer:
             checker = SymbolicContainmentChecker(candidate, original)
             kwargs = {"max_buckets": budget} if budget is not None else {}
             violation = checker.find_violation(**kwargs)
+        elif resolved == "sat":
+            # The request budget caps total CDCL conflicts; exhaustion
+            # raises SearchBudgetExceeded -> budget-exceeded envelope.
+            from ..sat import sat_find_violation
+
+            kwargs = {"max_conflicts": budget} if budget is not None else {}
+            violation = sat_find_violation(candidate, original, **kwargs)
         else:
             from ..stg.explicit import extract_stg
 

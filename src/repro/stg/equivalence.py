@@ -197,13 +197,19 @@ def decide_implication(
 
     ``engine`` is ``"explicit"`` (enumerate the STGs, then joint
     partition refinement), ``"symbolic"`` (the BDD greatest-fixpoint of
-    :mod:`repro.stg.symbolic_replaceability`) or ``"auto"``; ``None``
-    uses the process-wide default.
+    :mod:`repro.stg.symbolic_replaceability`), ``"sat"`` (the bounded
+    CNF unrolling of :mod:`repro.sat`) or ``"auto"``; ``None`` uses
+    the process-wide default.
     """
     from .symbolic_replaceability import resolve_engine, symbolic_implies
 
-    if resolve_engine(engine, c, d) == "symbolic":
+    resolved = resolve_engine(engine, c, d)
+    if resolved == "symbolic":
         return symbolic_implies(c, d)
+    if resolved == "sat":
+        from ..sat import sat_implies
+
+        return sat_implies(c, d)
     from .explicit import extract_stg
 
     return implies(extract_stg(c), extract_stg(d))
@@ -218,8 +224,13 @@ def decide_machines_equivalent(
         symbolic_machines_equivalent,
     )
 
-    if resolve_engine(engine, c, d) == "symbolic":
+    resolved = resolve_engine(engine, c, d)
+    if resolved == "symbolic":
         return symbolic_machines_equivalent(c, d)
+    if resolved == "sat":
+        from ..sat import sat_machines_equivalent
+
+        return sat_machines_equivalent(c, d)
     from .explicit import extract_stg
 
     return machines_equivalent(extract_stg(c), extract_stg(d))

@@ -179,17 +179,24 @@ def find_safe_replacement_violation(
 
     ``engine`` is ``"explicit"`` (enumerate the STGs, then the subset
     construction of :func:`find_violation`), ``"symbolic"`` (the BDD
-    fixpoint of :mod:`repro.stg.symbolic_replaceability`) or ``"auto"``
-    (explicit below the latch-count threshold, symbolic above); ``None``
-    uses the process-wide default (see
+    fixpoint of :mod:`repro.stg.symbolic_replaceability`), ``"sat"``
+    (the bounded CNF unrolling of :mod:`repro.sat` -- decides or
+    raises, never guesses) or ``"auto"`` (explicit below the
+    latch-count threshold, symbolic above); ``None`` uses the
+    process-wide default (see
     :func:`repro.stg.symbolic_replaceability.set_default_engine`).
-    Both engines return the same witness type with a minimal-length
+    All engines return the same witness type with a minimal-length
     input string.
     """
     from .symbolic_replaceability import resolve_engine, symbolic_find_violation
 
-    if resolve_engine(engine, c, d) == "symbolic":
+    resolved = resolve_engine(engine, c, d)
+    if resolved == "symbolic":
         return symbolic_find_violation(c, d)
+    if resolved == "sat":
+        from ..sat import sat_find_violation
+
+        return sat_find_violation(c, d)
     from .explicit import extract_stg
 
     return find_violation(extract_stg(c), extract_stg(d), max_states=max_states)

@@ -48,10 +48,12 @@ Engine selection
 ----------------
 
 :func:`resolve_engine` maps the user-facing ``--engine
-{explicit,symbolic,auto}`` switch to a concrete engine: ``auto`` picks
-the explicit path below :data:`AUTO_SYMBOLIC_LATCH_THRESHOLD` latches
-(where tabulated STGs are cheap and battle-tested) and the symbolic
-path above it.  :func:`set_default_engine` installs a process-wide
+{explicit,symbolic,sat,auto}`` switch to a concrete engine: ``auto``
+picks the explicit path below :data:`AUTO_SYMBOLIC_LATCH_THRESHOLD`
+latches (where tabulated STGs are cheap and battle-tested) and the
+symbolic path above it -- never the ``sat`` engine
+(:mod:`repro.sat`), which is opt-in because its budgets can leave a
+query undecided (it raises rather than guessing).  :func:`set_default_engine` installs a process-wide
 default, mirroring ``repro.sim.compiled.set_default_backend``.
 
 All fixpoints run bounded: the subset search raises
@@ -90,8 +92,11 @@ __all__ = [
     "symbolic_is_safe_replacement",
 ]
 
-#: The engine names the CLI exposes.
-ENGINES = ("explicit", "symbolic", "auto")
+#: The engine names the CLI exposes.  ``sat`` is the bounded CNF/CDCL
+#: engine of :mod:`repro.sat` -- opt-in only (``auto`` never picks it):
+#: it either decides definitively, with exportable certificates, or
+#: raises :class:`SearchBudgetExceeded`.
+ENGINES = ("explicit", "symbolic", "sat", "auto")
 
 #: ``auto`` switches to the symbolic engine strictly above this many
 #: latches (on either machine).  Below it the tabulated STG fits in a

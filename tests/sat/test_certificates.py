@@ -1,0 +1,152 @@
+"""Golden certificates: the Figure 1 verdict, frozen as files.
+
+The exports in :mod:`repro.sat.certificates` are the engine's public
+face -- a DIMACS instance any solver can re-run, an SMV model a model
+checker can re-run, and a witness JSON the replay checker can re-run.
+These tests pin all three for the paper's Figure 1 pair bit-for-bit
+against checked-in golden files, then close the loop: the golden DIMACS
+is parsed back and re-solved to the same verdict, and the golden
+witness is replayed through the stock simulators (both in-process and
+via the ``python -m repro.sat.replay`` CLI).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.paper_circuits import figure1_design_c, figure1_design_d
+from repro.sat import check_safe_replacement
+from repro.sat.certificates import export_dimacs, export_smv, write_bundle
+from repro.sat.cnf import check_model, parse_dimacs
+from repro.sat.replay import main as replay_main
+from repro.sat.replay import replay_witness
+from repro.sat.solver import Solver
+from repro.sat.witness import witness_from_json, witness_to_json
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "fig1")
+
+
+def _golden(name):
+    with open(os.path.join(GOLDEN, name), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    c, d = figure1_design_c(), figure1_design_d()
+    return c, d, check_safe_replacement(c, d)
+
+
+class TestGoldenFiles:
+    """Regenerate each certificate and compare bit-for-bit."""
+
+    def test_dimacs_matches_golden(self, fig1_result):
+        _, _, result = fig1_result
+        assert export_dimacs(result.miter) == _golden("miter.dimacs")
+
+    def test_smv_matches_golden(self, fig1_result):
+        c, d, _ = fig1_result
+        assert export_smv(c, d) == _golden("miter.smv")
+
+    def test_witness_matches_golden(self, fig1_result):
+        _, _, result = fig1_result
+        assert witness_to_json(result.witness) == _golden("witness.json")
+
+
+class TestGoldenRoundTrip:
+    """The golden files alone re-prove the verdict -- no engine state."""
+
+    def test_golden_dimacs_resolves_to_sat(self):
+        """The deciding miter is satisfiable (a violation exists), and
+        the model survives the clause re-check."""
+        parsed = parse_dimacs(_golden("miter.dimacs"))
+        model = Solver(parsed.num_vars, parsed.clauses).solve()
+        assert model is not None
+        assert check_model(parsed.clauses, model)
+
+    def test_golden_dimacs_header_names_the_pair(self):
+        header = _golden("miter.dimacs")
+        assert "safe-replacement miter" in header
+        assert "figure1_C (C) vs figure1_D (D)" in header
+        assert "C power-up state (MSB first)" in header
+
+    def test_golden_smv_has_one_copy_per_power_up_state(self):
+        smv = _golden("miter.smv")
+        # figure1_D has one latch: exactly D0 and D1, pinned by INIT.
+        assert "D0 : circ_d(in0);" in smv
+        assert "D1 : circ_d(in0);" in smv
+        assert "D2" not in smv
+        assert "INIT !D0.l0" in smv
+        assert "INIT D1.l0" in smv
+        assert "LTLSPEC G !(cur_mm0 & cur_mm1)" in smv
+
+    def test_golden_witness_replays_bit_for_bit(self, fig1_result):
+        c, d, _ = fig1_result
+        witness = witness_from_json(_golden("witness.json"))
+        assert witness.c_state == 2
+        assert witness.frames == 2
+        replay = replay_witness(c, d, witness)
+        assert replay.ok, replay.errors
+
+    def test_golden_witness_rejects_the_wrong_circuit_pair(self):
+        """Swap C and D: the replay must fail, not shrug."""
+        witness = witness_from_json(_golden("witness.json"))
+        c, d = figure1_design_c(), figure1_design_d()
+        replay = replay_witness(d, c, witness)
+        assert not replay.ok
+        assert replay.errors
+
+
+class TestBundle:
+    def test_bundle_replays_via_the_cli(self, fig1_result, tmp_path):
+        """write_bundle + ``python -m repro.sat.replay`` from files
+        alone -- the MANIFEST's own re-check command, executed."""
+        c, d, result = fig1_result
+        written = write_bundle(str(tmp_path), result, c, d)
+        assert set(written) >= {
+            "c.bench",
+            "d.bench",
+            "miter.dimacs",
+            "miter.smv",
+            "witness.json",
+            "MANIFEST.txt",
+        }
+        rc = replay_main(
+            [
+                str(tmp_path / "witness.json"),
+                "--c",
+                str(tmp_path / "c.bench"),
+                "--d",
+                str(tmp_path / "d.bench"),
+            ]
+        )
+        assert rc == 0
+
+    def test_tampered_witness_is_rejected_by_the_cli(self, fig1_result, tmp_path, capsys):
+        c, d, result = fig1_result
+        write_bundle(str(tmp_path), result, c, d)
+        text = (tmp_path / "witness.json").read_text(encoding="utf-8")
+        (tmp_path / "witness.json").write_text(
+            text.replace('"c_state": 2', '"c_state": 0'), encoding="utf-8"
+        )
+        rc = replay_main(
+            [
+                str(tmp_path / "witness.json"),
+                "--c",
+                str(tmp_path / "c.bench"),
+                "--d",
+                str(tmp_path / "d.bench"),
+            ]
+        )
+        assert rc == 1
+        assert "REJECTED" in capsys.readouterr().err
+
+    def test_manifest_records_the_verdict(self, fig1_result, tmp_path):
+        c, d, result = fig1_result
+        write_bundle(str(tmp_path), result, c, d)
+        manifest = (tmp_path / "MANIFEST.txt").read_text(encoding="utf-8")
+        assert "kind: safe-replacement" in manifest
+        assert "C ⋠ D" in manifest
+        assert "re-check: python -m repro.sat.replay" in manifest

@@ -1,0 +1,176 @@
+"""The CNF encoder vs the simulators: one source of truth, two readers.
+
+Both the encoder and the simulators consume the same compiled op
+program, so a disagreement means the dual-rail CNF forms are wrong.
+Each test pins a frame's state and inputs to constants, solves the
+(fully determined) CNF, and compares the decoded outputs and next
+state against :class:`BinarySimulator` / :class:`TernarySimulator` --
+over every circuit family the generators produce, binary and ternary,
+including X-propagation from the all-X state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generators import (
+    counter_circuit,
+    pipeline_circuit,
+    random_sequential_circuit,
+    shift_register,
+)
+from repro.bench.paper_circuits import (
+    figure1_design_c,
+    figure1_design_d,
+    figure3_design_c,
+    figure3_design_d,
+)
+from repro.logic.ternary import ONE, T, X, ZERO
+from repro.sat.cnf import CNF
+from repro.sat.encode import CircuitEncoder, decode_rails
+from repro.sat.solver import Solver
+from repro.sim.binary import BinarySimulator
+from repro.sim.ternary_sim import TernarySimulator
+
+
+def _encode_and_solve(circuit, state, inputs):
+    """Encode one frame with pinned ternary state/inputs; returns the
+    decoded (outputs, next_state) as T tuples."""
+    cnf = CNF()
+    enc = CircuitEncoder(cnf, circuit)
+    t = enc.true_lit
+
+    def pin(values):
+        rails = []
+        for v in values:
+            if v is X:
+                rails.append((t, t))
+            elif v is ONE or v == 1:
+                rails.append((-t, t))
+            else:
+                rails.append((t, -t))
+        return rails
+
+    out_rails, next_rails = enc.encode_frame(pin(state), pin(inputs))
+    model = Solver(cnf.num_vars, cnf.clauses).solve()
+    assert model is not None, "a fully pinned frame must be satisfiable"
+    outputs = tuple(decode_rails(model, pair, t) for pair in out_rails)
+    next_state = tuple(decode_rails(model, pair, t) for pair in next_rails)
+    return outputs, next_state
+
+
+def _circuits():
+    return [
+        figure1_design_c(),
+        figure1_design_d(),
+        figure3_design_c(),
+        figure3_design_d(),
+        shift_register(3),
+        counter_circuit(3),
+        pipeline_circuit(2, width=2),
+        random_sequential_circuit(5, num_inputs=2, num_outputs=2, num_gates=10),
+    ]
+
+
+class TestBinaryFrames:
+    @pytest.mark.parametrize("index", range(8))
+    def test_exhaustive_small_frames(self, index):
+        """Every (state, input) combination of each fixture circuit."""
+        circuit = _circuits()[index]
+        sim = BinarySimulator(circuit)
+        n, m = circuit.num_latches, len(circuit.inputs)
+        if n + m > 8:
+            pytest.skip("state x input space too large for exhaustion")
+        for state_bits in itertools.product((False, True), repeat=n):
+            for input_bits in itertools.product((False, True), repeat=m):
+                want_out, want_next = sim.step(state_bits, input_bits)
+                got_out, got_next = _encode_and_solve(
+                    circuit,
+                    [ONE if b else ZERO for b in state_bits],
+                    [ONE if b else ZERO for b in input_bits],
+                )
+                assert tuple(v == 1 for v in got_out) == tuple(want_out)
+                assert tuple(v == 1 for v in got_next) == tuple(want_next)
+
+    @settings(deadline=None, max_examples=30)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_circuits_random_frames(self, seed):
+        rng = random.Random(seed)
+        circuit = random_sequential_circuit(
+            seed,
+            num_inputs=rng.randint(1, 3),
+            num_outputs=rng.randint(1, 3),
+            num_gates=rng.randint(4, 16),
+            num_latches=rng.randint(1, 5),
+        )
+        sim = BinarySimulator(circuit)
+        state = [rng.random() < 0.5 for _ in range(circuit.num_latches)]
+        inputs = [rng.random() < 0.5 for _ in range(len(circuit.inputs))]
+        want_out, want_next = sim.step(state, inputs)
+        got_out, got_next = _encode_and_solve(
+            circuit,
+            [ONE if b else ZERO for b in state],
+            [ONE if b else ZERO for b in inputs],
+        )
+        assert tuple(v == 1 for v in got_out) == tuple(want_out)
+        assert tuple(v == 1 for v in got_next) == tuple(want_next)
+
+
+class TestTernaryFrames:
+    @settings(deadline=None, max_examples=30)
+    @given(seed=st.integers(0, 10_000))
+    def test_x_propagation_matches_ternary_simulator(self, seed):
+        rng = random.Random(seed)
+        circuit = random_sequential_circuit(
+            seed,
+            num_inputs=rng.randint(1, 3),
+            num_outputs=rng.randint(1, 3),
+            num_gates=rng.randint(4, 16),
+            num_latches=rng.randint(1, 5),
+        )
+        sim = TernarySimulator(circuit)
+        choices = (ZERO, ONE, X)
+        state = [rng.choice(choices) for _ in range(circuit.num_latches)]
+        inputs = [rng.choice(choices) for _ in range(len(circuit.inputs))]
+        want_out, want_next = sim.step(state, inputs)
+        got_out, got_next = _encode_and_solve(circuit, state, inputs)
+        assert got_out == tuple(want_out)
+        assert got_next == tuple(want_next)
+
+    def test_all_x_frame(self):
+        """The CLS power-up convention: everything X in, conservative
+        values out, for every fixture."""
+        for circuit in _circuits():
+            sim = TernarySimulator(circuit)
+            state = [X] * circuit.num_latches
+            inputs = [X] * len(circuit.inputs)
+            want_out, want_next = sim.step(state, inputs)
+            got_out, got_next = _encode_and_solve(circuit, state, inputs)
+            assert got_out == tuple(want_out), circuit.name
+            assert got_next == tuple(want_next), circuit.name
+
+
+class TestFreeVariableCounts:
+    def test_binary_nets_use_one_variable(self):
+        """The (-x, x) aliasing: a purely binary unrolling allocates one
+        variable per free net, not two."""
+        cnf = CNF()
+        enc = CircuitEncoder(cnf, figure1_design_d())
+        before = cnf.num_vars
+        vars_, rails = enc.new_binary_rails(4)
+        assert cnf.num_vars == before + 4
+        assert rails == [(-v, v) for v in vars_]
+
+    def test_ternary_nets_are_constrained_valid(self):
+        cnf = CNF()
+        enc = CircuitEncoder(cnf, figure1_design_d())
+        rails = enc.new_ternary_rails(1)
+        (a, b) = rails[0]
+        # (0,0) must be excluded: forcing both rails low is UNSAT.
+        clauses = list(cnf.clauses) + [(-a,), (-b,)]
+        assert Solver(cnf.num_vars, clauses).solve() is None

@@ -1,0 +1,163 @@
+"""Unit tests for the CDCL core: cross-checked against brute force.
+
+The solver's only contract is SAT/UNSAT correctness plus budget
+discipline; these tests enumerate assignments for small random CNFs and
+insist the verdicts match exactly, across enough instances to exercise
+learning, restarts and the lazy VSIDS heap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat.cnf import CNF, check_model, parse_dimacs
+from repro.sat.solver import Solver, luby
+from repro.stg.replaceability import SearchBudgetExceeded
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product((False, True), repeat=num_vars):
+        model = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if check_model(clauses, model):
+            return model
+    return None
+
+
+def random_cnf(rng, num_vars, num_clauses, width=3):
+    clauses = []
+    for _ in range(num_clauses):
+        size = rng.randint(1, width)
+        vars_ = rng.sample(range(1, num_vars + 1), min(size, num_vars))
+        clauses.append(tuple(v if rng.random() < 0.5 else -v for v in vars_))
+    return clauses
+
+
+class TestLuby:
+    def test_prefix(self):
+        got = [luby(i) for i in range(15)]
+        assert got == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(1, 8)
+        clauses = random_cnf(rng, num_vars, rng.randint(1, 30))
+        expected = brute_force_sat(num_vars, clauses)
+        model = Solver(num_vars, clauses).solve()
+        assert (model is None) == (expected is None), "seed %d" % seed
+        if model is not None:
+            # Any model must satisfy every clause (already re-checked
+            # internally, but assert the contract here too).
+            assert check_model(clauses, model)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_unsat_heavy_instances(self, seed):
+        """Over-constrained formulas: mostly UNSAT, stressing learning."""
+        rng = random.Random(1000 + seed)
+        num_vars = rng.randint(2, 6)
+        clauses = random_cnf(rng, num_vars, 8 * num_vars, width=2)
+        expected = brute_force_sat(num_vars, clauses)
+        model = Solver(num_vars, clauses).solve()
+        assert (model is None) == (expected is None)
+
+
+class TestEdgeCases:
+    def test_empty_formula_is_sat(self):
+        assert Solver(0, []).solve() == {}
+
+    def test_empty_clause_is_unsat(self):
+        assert Solver(1, [()]).solve() is None
+
+    def test_contradicting_units(self):
+        assert Solver(1, [(1,), (-1,)]).solve() is None
+
+    def test_tautology_is_dropped(self):
+        model = Solver(1, [(1, -1)]).solve()
+        assert model is not None
+
+    def test_unit_chain(self):
+        # 1, 1->2, 2->3: all forced true.
+        model = Solver(3, [(1,), (-1, 2), (-2, 3)]).solve()
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_clause_whose_watches_are_both_false_at_level_zero(self):
+        """Regression: a clause added after units have falsified its
+        first two literals must still propagate / conflict correctly."""
+        clauses = [(1,), (2,), (-1, -2, 3), (-3,)]
+        # -1 -2 3 with 1,2 forced: 3 forced, contradicting -3.
+        assert Solver(3, clauses).solve() is None
+        clauses = [(1,), (2,), (-1, -2, 3)]
+        model = Solver(3, clauses).solve()
+        assert model == {1: True, 2: True, 3: True}
+
+
+class TestBudgets:
+    def _hard_instance(self):
+        """Pigeonhole PHP(5,4): UNSAT and exponentially hard for
+        resolution, so any small conflict budget trips."""
+        holes, pigeons = 4, 5
+        var = lambda p, h: p * holes + h + 1
+        clauses = [tuple(var(p, h) for h in range(holes)) for p in range(pigeons)]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append((-var(p1, h), -var(p2, h)))
+        return pigeons * holes, clauses
+
+    def test_conflict_budget_raises(self):
+        num_vars, clauses = self._hard_instance()
+        with pytest.raises(SearchBudgetExceeded):
+            Solver(num_vars, clauses, max_conflicts=3).solve()
+
+    def test_decision_budget_raises(self):
+        num_vars, clauses = self._hard_instance()
+        with pytest.raises(SearchBudgetExceeded):
+            Solver(num_vars, clauses, max_decisions=2).solve()
+
+    def test_budget_exception_is_a_memory_error(self):
+        """The serve layer's envelope mapping relies on this."""
+        assert issubclass(SearchBudgetExceeded, MemoryError)
+
+    def test_generous_budget_still_decides(self):
+        num_vars, clauses = self._hard_instance()
+        assert Solver(num_vars, clauses, max_conflicts=200_000).solve() is None
+
+
+class TestDimacsRoundTrip:
+    def test_round_trip(self):
+        cnf = CNF()
+        a, b, c = cnf.new_vars(3)
+        cnf.add(a, -b)
+        cnf.add(b, c)
+        cnf.add(-a, -c)
+        cnf.comment("three clauses")
+        parsed = parse_dimacs(cnf.to_dimacs())
+        assert parsed.num_vars == 3
+        assert parsed.clauses == [(a, -b), (b, c), (-a, -c)]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("not dimacs at all\n")
+        with pytest.raises(ValueError):
+            parse_dimacs("p cnf 1 1\n2 0\n")  # var out of range
+        with pytest.raises(ValueError):
+            parse_dimacs("p cnf 1 2\n1 0\n")  # clause count mismatch
+        with pytest.raises(ValueError):
+            parse_dimacs("p cnf 1 1\n1\n")  # unterminated clause
+
+    def test_solver_verdict_survives_round_trip(self):
+        rng = random.Random(7)
+        clauses = random_cnf(rng, 6, 20)
+        cnf = CNF()
+        cnf.new_vars(6)
+        for clause in clauses:
+            cnf.add_clause(clause)
+        parsed = parse_dimacs(cnf.to_dimacs())
+        direct = Solver(6, clauses).solve()
+        reparsed = Solver(parsed.num_vars, parsed.clauses).solve()
+        assert (direct is None) == (reparsed is None)

@@ -395,6 +395,74 @@ class TestBudgets:
         finally:
             thread.join(timeout=30)
 
+    def test_sat_engine_blown_budget_is_an_envelope(self, client):
+        """A SAT conflict budget that runs out mid-search must surface
+        as the structured budget-exceeded envelope, never a crash."""
+        _load_pair(client, *_pair())
+        resp = client.request(
+            {
+                "op": "safe-replacement",
+                "candidate": "ret",
+                "original": "orig",
+                "engine": "sat",
+                "budget": 1,
+            }
+        )
+        assert resp["ok"] is False
+        assert resp["error"]["code"] == "budget-exceeded"
+        assert "undecided" in resp["error"]["message"]
+        assert client.result({"op": "ping"})["pong"] is True
+
+    def test_sat_engine_blown_budget_on_check_validity(self, client):
+        _load_pair(client, *_pair())
+        resp = client.request(
+            {
+                "op": "check-validity",
+                "original": "orig",
+                "retimed": "ret",
+                "exhaustive": True,
+                "engine": "sat",
+                "budget": 1,
+            }
+        )
+        assert resp["ok"] is False
+        assert resp["error"]["code"] == "budget-exceeded"
+        assert "undecided" in resp["error"]["message"]
+        # The server survives; a non-exhaustive check still works.
+        result = client.result(
+            {"op": "check-validity", "original": "orig", "retimed": "ret"}
+        )
+        assert result["equivalent"] is True
+
+    def test_sat_engine_decides_within_budget(self, client):
+        """The paper's Figure 1 pair is small enough for the SAT engine
+        to finish: a definitive verdict, not an envelope."""
+        c, d = figure1_design_c(), figure1_design_d()
+        client.result({"op": "load", "name": "c", "bench": write_bench(c)})
+        client.result({"op": "load", "name": "d", "bench": write_bench(d)})
+        result = client.result(
+            {
+                "op": "safe-replacement",
+                "candidate": "c",
+                "original": "d",
+                "engine": "sat",
+            }
+        )
+        assert result["safe"] is False and result["engine"] == "sat"
+        assert result["witness"]["c_state"] == 2
+        assert result["witness"]["length"] == 2
+        exhaustive = client.result(
+            {
+                "op": "check-validity",
+                "original": "d",
+                "retimed": "c",
+                "exhaustive": True,
+                "engine": "sat",
+            }
+        )["exhaustive"]
+        assert exhaustive["engine"] == "sat"
+        assert exhaustive["equivalent"] is True and exhaustive["witness"] is None
+
     def test_bad_budget_rejected(self, client):
         _load_pair(client, *_pair())
         resp = client.request(
