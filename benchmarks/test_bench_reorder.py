@@ -1,0 +1,154 @@
+"""Fixed-order vs sifting vs sifting+partitioned on the ISCAS suite.
+
+The reorder crossover, measured honestly: the symbolic C ≼ D check is
+run in three configurations over every circuit of the embedded ISCAS
+suite (:mod:`repro.bench.iscas`) as the reflexive pair ``C ≼ C`` --
+known-safe in advance, and the exact workload every retiming-validity
+check pays:
+
+* **fixed** -- ``reorder=off`` with the historical monolithic
+  transition relation (the engine as it stood before dynamic
+  reordering);
+* **sift** -- ``reorder=auto`` (Rudell sifting at the node threshold),
+  still monolithic;
+* **sift+part** -- ``reorder=auto`` with the conjunctively partitioned
+  transition relation and early quantification.
+
+Every arm runs under the same hard node budget
+(:data:`NODE_BUDGET` unique-table nodes -- exceeding it raises
+:class:`~repro.logic.bdd.NodeLimitExceeded` and is recorded as
+``BUDGET``).  The ``mini_perm*`` circuits are the stress family: their
+state-equivalence relation is exact bit equality, linear under an
+interleaved order but exponential under the blocked order a two-machine
+compilation declares, so the fixed arm blows its budget exactly where
+sifting sails through.  Peak live-node counts and wall times go to
+``benchmarks/results/reorder_crossover.txt``.
+
+Asserted shape: all arms that complete agree (safe), and on at least
+two circuits the fixed arm exceeds its budget (or is >5x slower) while
+a sifting arm completes -- the PR's acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.iscas import load, names
+from repro.logic.bdd import BDDManager, NodeLimitExceeded
+from repro.stg.symbolic_replaceability import SymbolicContainmentChecker
+
+#: Hard unique-table budget per arm (nodes).
+NODE_BUDGET = 60_000
+
+#: Live-node count at which the auto arms start sifting.  Well below
+#: the budget, so the sifting arms get their chance before dying.
+REORDER_THRESHOLD = 8_000
+
+#: The smallest circuits, used by the CI smoke test.
+SMOKE_CIRCUITS = ("mini_traffic", "mini_handshake", "mini_seqdet")
+
+ARMS = (
+    ("fixed", "off", False),
+    ("sift", "auto", False),
+    ("sift+part", "auto", True),
+)
+
+
+def run_arm(name, reorder, partitioned):
+    """One (circuit, configuration) cell: returns
+    ``(verdict, seconds, peak_live_nodes)`` with verdict ``True`` or
+    ``None`` for a blown node budget."""
+    circuit = load(name)
+    manager = BDDManager(
+        reorder=reorder,
+        reorder_threshold=REORDER_THRESHOLD,
+        node_limit=NODE_BUDGET,
+    )
+    started = time.perf_counter()
+    try:
+        checker = SymbolicContainmentChecker(
+            circuit,
+            circuit,
+            manager=manager,
+            reorder=reorder,
+            partitioned=partitioned,
+        )
+        verdict = checker.is_safe_replacement()
+    except NodeLimitExceeded:
+        verdict = None
+    elapsed = time.perf_counter() - started
+    return verdict, elapsed, manager.stats["peak_live_nodes"]
+
+
+def test_reorder_crossover_table(record_artifact):
+    rows = []
+    crossover_circuits = []
+    for name in names():
+        cells = {}
+        for arm, reorder, partitioned in ARMS:
+            cells[arm] = run_arm(name, reorder, partitioned)
+        completed = [v for v, _, _ in cells.values() if v is not None]
+        # Every arm that completes must agree: ≼ is reflexive.
+        assert all(v is True for v in completed), (
+            "arm verdicts disagree on %s: %r" % (name, cells)
+        )
+        fixed_v, fixed_s, _ = cells["fixed"]
+        sift_wins = [
+            cells[arm]
+            for arm in ("sift", "sift+part")
+            if cells[arm][0] is not None
+        ]
+        if sift_wins and (
+            fixed_v is None or fixed_s > 5.0 * min(s for _, s, _ in sift_wins)
+        ):
+            crossover_circuits.append(name)
+        rows.append(
+            "%-14s | %s"
+            % (
+                name,
+                " | ".join(
+                    "%-6s %7.3fs %7d"
+                    % ("BUDGET" if v is None else "safe", s, peak)
+                    for v, s, peak in (cells[arm] for arm, _, _ in ARMS)
+                ),
+            )
+        )
+    assert len(crossover_circuits) >= 2, (
+        "expected >= 2 circuits where fixed order exceeds its budget or is "
+        ">5x slower while sifting completes; got %r" % crossover_circuits
+    )
+    header = (
+        "Reflexive safe replacement C ≼ C over the embedded ISCAS suite\n"
+        "node budget %d, reorder threshold %d; BUDGET = NodeLimitExceeded\n"
+        % (NODE_BUDGET, REORDER_THRESHOLD)
+        + "%-14s | %-23s | %-23s | %-23s\n"
+        % ("circuit", "fixed (off, monolithic)", "sift (auto, monolithic)",
+           "sift+part (auto)")
+        + "%-14s | %s\n" % ("", "verdict  wall      peak-live-nodes, per arm")
+        + "-" * 92
+    )
+    footer = "fixed order loses (budget or >5x) at: %s" % (
+        ", ".join(crossover_circuits)
+    )
+    record_artifact(
+        "reorder_crossover", header + "\n" + "\n".join(rows) + "\n" + footer
+    )
+
+
+def test_reorder_smoke_smallest_circuits():
+    """The CI smoke slice: the three smallest circuits, every arm,
+    verdicts unanimous and inside budget."""
+    for name in SMOKE_CIRCUITS:
+        for arm, reorder, partitioned in ARMS:
+            verdict, _, peak = run_arm(name, reorder, partitioned)
+            assert verdict is True, "%s/%s did not complete" % (name, arm)
+            assert peak < NODE_BUDGET
+
+
+def test_bench_perm16_sift_partitioned(benchmark):
+    """Timing distribution for the stress circuit under the winning
+    configuration (auto sifting + partitioned transition relation)."""
+    result = benchmark.pedantic(
+        lambda: run_arm("mini_perm16", "auto", True)[0], rounds=3, iterations=1
+    )
+    assert result is True

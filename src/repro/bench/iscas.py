@@ -126,12 +126,44 @@ t4 = AND(nx, p11)
 hit = AND(x, p11)
 """
 
+def _perm_shift_bench(n: int, stride: int) -> str:
+    """An n-latch permuted shift register in ``.bench`` form (authored).
+
+    Bit ``i`` loads bit ``(i + stride) mod n`` each cycle (*stride*
+    coprime to *n*, so the permutation is a single cycle and every
+    power-up state is output-distinguishable); an input XOR feeds bit 0
+    and the output taps bit 0.  These are the reorder stress circuits:
+    their pairwise state-equivalence relation is exact bit equality,
+    which is linear-sized under an interleaved variable order but
+    exponential under the blocked order a two-machine compilation
+    declares -- precisely the gap dynamic reordering exists to close.
+    """
+    if n < 2 or stride % n == 0:
+        raise ValueError("need n >= 2 and stride not a multiple of n")
+    lines = [
+        "# mini_perm%d -- %d-latch permuted shift register, stride %d (authored)"
+        % (n, n, stride),
+        "INPUT(x)",
+        "OUTPUT(out)",
+        "",
+    ]
+    lines.extend("s%d = DFF(n%d)" % (i, i) for i in range(n))
+    lines.append("")
+    lines.append("n0 = XOR(s%d, x)" % (stride % n))
+    lines.extend("n%d = BUF(s%d)" % (i, (i + stride) % n) for i in range(1, n))
+    lines.append("out = BUF(s0)")
+    return "\n".join(lines) + "\n"
+
+
 BENCHMARKS: Dict[str, str] = {
     "s27": _S27,
     "mini_traffic": _MINI_TRAFFIC,
     "mini_handshake": _MINI_HANDSHAKE,
     "mini_gray": _MINI_GRAY,
     "mini_seqdet": _MINI_SEQDET,
+    "mini_perm12": _perm_shift_bench(12, 5),
+    "mini_perm16": _perm_shift_bench(16, 7),
+    "mini_perm20": _perm_shift_bench(20, 9),
 }
 
 

@@ -241,6 +241,7 @@ def check_retiming_validity(
     sequences: Optional[Sequence[Sequence[Sequence[T]]]] = None,
     seed: int = 0,
     engine: Optional[str] = None,
+    reorder: Optional[str] = None,
 ) -> ValidityReport:
     """Run the full battery of paper checks on a retiming session.
 
@@ -252,6 +253,11 @@ def check_retiming_validity(
     verdicts that exhaust their budgets are reported as ``None``, the
     same "could not decide" the explicit engine uses for oversized
     STGs.
+
+    ``reorder`` sets the symbolic engine's dynamic-variable-reordering
+    mode (``"off"``, ``"auto"`` or ``"manual"``; ``None`` = process
+    default, see ``--reorder``).  Verdicts are identical in every mode;
+    only BDD sizes and wall time differ.
     """
     from ..stg.symbolic_replaceability import (
         SymbolicContainmentChecker,
@@ -272,7 +278,7 @@ def check_retiming_validity(
     resolved = resolve_engine(engine, original, retimed)
     with _span("retime.validity"):
         if check_stg and resolved == "symbolic":
-            checker = SymbolicContainmentChecker(retimed, original)
+            checker = SymbolicContainmentChecker(retimed, original, reorder=reorder)
             implication = checker.implies()
             try:
                 safe = checker.is_safe_replacement()

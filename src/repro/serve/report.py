@@ -22,8 +22,16 @@ the RunReport schema)::
       "batch":    {"sweeps": N, "jobs": N, "lanes": N,
                    "max_jobs_per_sweep": N, "mean_jobs_per_sweep": ...},
       "cache":    {"circuits": {"hits": N, "misses": N},
-                   "parsed":   {"hits": N, "misses": N}}
+                   "parsed":   {"hits": N, "misses": N}},
+      "reorder":  {"requests": {"auto": N, "off": N, "manual": N},
+                   "runs": N, "auto_triggers": N, "swaps": N,
+                   "nodes_reclaimed": N}
     }
+
+The ``reorder`` section accumulates the BDD managers' dynamic-reordering
+counters (``bdd.reorder.*``) across every symbolic safe-replacement
+request, keyed off :meth:`ServiceStats.record_reorder`; ``requests``
+counts how many symbolic requests ran under each mode.
 
 Latency quantiles are computed over a bounded window of the most recent
 :data:`LATENCY_WINDOW` observations per operation (memory stays flat at
@@ -111,6 +119,14 @@ class ServiceStats:
             "circuits": {"hits": 0, "misses": 0},
             "parsed": {"hits": 0, "misses": 0},
         }
+        # BDD dynamic-reordering activity across symbolic requests.
+        self._reorder_requests: Dict[str, int] = {}
+        self._reorder: Dict[str, int] = {
+            "runs": 0,
+            "auto_triggers": 0,
+            "swaps": 0,
+            "nodes_reclaimed": 0,
+        }
 
     # -- recording ---------------------------------------------------------
 
@@ -144,6 +160,15 @@ class ServiceStats:
         """Count a hit/miss on the ``circuits`` or ``parsed`` cache."""
         with self._lock:
             self._cache[cache]["hits" if hit else "misses"] += 1
+
+    def record_reorder(self, mode: str, bdd_stats: Dict[str, int]) -> None:
+        """Fold one symbolic request's BDD manager counters into the
+        rolling reorder section (*mode* is the resolved reorder mode;
+        *bdd_stats* is :attr:`repro.logic.bdd.BDDManager.stats`)."""
+        with self._lock:
+            self._reorder_requests[mode] = self._reorder_requests.get(mode, 0) + 1
+            for key in self._reorder:
+                self._reorder[key] += bdd_stats.get("reorder.%s" % key, 0)
 
     # -- reading -----------------------------------------------------------
 
@@ -191,6 +216,10 @@ class ServiceStats:
                     ),
                 },
                 "cache": {name: dict(rec) for name, rec in self._cache.items()},
+                "reorder": {
+                    "requests": dict(sorted(self._reorder_requests.items())),
+                    **self._reorder,
+                },
             }
 
     def write(self, path: str) -> None:

@@ -62,8 +62,10 @@ from ..sim.parallel import (
 from ..stg.replaceability import find_violation
 from ..stg.symbolic_replaceability import (
     ENGINES,
+    REORDER_MODES,
     SymbolicContainmentChecker,
     get_default_engine,
+    get_default_reorder,
     resolve_engine,
 )
 from ..stg.ternary_equiv import decide_cls_equivalence
@@ -494,6 +496,7 @@ class ReproServer:
             "backend": get_default_backend(),
             "lane_engine": resolve_lane_engine(None),
             "engine": get_default_engine(),
+            "reorder": get_default_reorder(),
             "jobs": self.jobs,
             "uptime_s": round(self.stats.uptime_s, 6),
             "circuits": list(self.registry.names()),
@@ -631,11 +634,21 @@ class ReproServer:
                 "bad-request", "engine must be one of %s" % (ENGINES,)
             )
         resolved = resolve_engine(engine, candidate, original)
+        reorder = request.get("reorder")
+        if reorder is not None and reorder not in REORDER_MODES:
+            raise RequestError(
+                "bad-request", "reorder must be one of %s" % (REORDER_MODES,)
+            )
         budget = self._budget(request)
         if resolved == "symbolic":
-            checker = SymbolicContainmentChecker(candidate, original)
+            checker = SymbolicContainmentChecker(
+                candidate, original, reorder=reorder
+            )
             kwargs = {"max_buckets": budget} if budget is not None else {}
             violation = checker.find_violation(**kwargs)
+            # Fold the manager's reorder counters into the rolling
+            # service report (the envelope stays mode-independent).
+            self.stats.record_reorder(checker.reorder, checker.manager.stats)
         elif resolved == "sat":
             # The request budget caps total CDCL conflicts; exhaustion
             # raises SearchBudgetExceeded -> budget-exceeded envelope.

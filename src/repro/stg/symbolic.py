@@ -5,8 +5,19 @@ their state-space analyses symbolically; this module provides that
 substrate on top of :mod:`repro.logic.bdd`:
 
 * :class:`SymbolicMachine` -- a circuit compiled to BDDs: one next-state
-  function per latch, one function per primary output, a monolithic
-  transition relation, and image/preimage operators;
+  function per latch, one function per primary output, a
+  **conjunctively partitioned transition relation** (one conjunct
+  ``s_k' <-> f_k(s, i)`` per latch), and image/preimage operators that
+  fold the fused ``relprod`` over the partition with an early
+  quantification schedule -- each quantified variable is eliminated at
+  the last conjunct whose support mentions it, so the intermediate
+  products stay near the size of the individual conjuncts.  Whether a
+  machine actually *uses* the partition is decided per machine
+  (``partitioned="auto"``): partitioning pays exactly when the
+  schedule's kills keep pace with the chain's variable introductions
+  (shift/permutation/pipeline shapes); for entangled machines the
+  monolith -- built once, reused every iteration -- wins, and auto
+  mode falls back to it;
 * symbolic forward reachability and the symbolic **delayed design**
   ``D^n`` (the image-of-everything chain of Section 3.4), cross-checked
   against the explicit computation in the test-suite;
@@ -34,7 +45,58 @@ __all__ = [
     "compile_circuit",
     "symbolic_delayed_states",
     "product_outputs_equivalent",
+    "relprod_chain",
 ]
+
+
+def quantification_schedule(
+    manager: BDDManager,
+    partitions: Sequence[BDD],
+    quantify: Sequence[str],
+) -> Tuple[List[str], List[Tuple[BDD, List[str]]]]:
+    """Early-quantification plan for ``exists(quantify, states & AND(partitions))``.
+
+    Returns ``(upfront, [(partition, kill), ...])``: *upfront* are the
+    quantified variables no partition mentions (eliminable from the
+    state set before the chain starts); each *kill* list holds the
+    variables whose **last** supporting conjunct is that partition, so
+    they can be folded away by the fused ``relprod`` at that step
+    instead of surviving into every later intermediate product.  The
+    plan depends only on supports (stable across dynamic reordering).
+    """
+    last: Dict[str, int] = {}
+    for idx, part in enumerate(partitions):
+        support = set(manager.support(part))
+        for name in quantify:
+            if name in support:
+                last[name] = idx
+    upfront = [name for name in quantify if name not in last]
+    kills: List[List[str]] = [[] for _ in partitions]
+    for name, idx in last.items():
+        kills[idx].append(name)
+    return upfront, [(part, kill) for part, kill in zip(partitions, kills)]
+
+
+def relprod_chain(
+    manager: BDDManager,
+    states: BDD,
+    partitions: Sequence[BDD],
+    quantify: Sequence[str],
+    *,
+    plan: Optional[Tuple[List[str], List[Tuple[BDD, List[str]]]]] = None,
+) -> BDD:
+    """``exists(quantify, states & AND(partitions))`` without ever
+    building the conjunction: fold the fused ``relprod`` over the
+    partition under an early quantification schedule.  Pass a cached
+    *plan* (from :func:`quantification_schedule`) inside fixpoint loops.
+    """
+    if plan is None:
+        plan = quantification_schedule(manager, partitions, quantify)
+    upfront, steps = plan
+    current = states.exists(upfront) if upfront else states
+    for part, kill in steps:
+        current = manager.relprod(current, part, kill)
+    return current
 
 
 class SymbolicMachine:
@@ -53,7 +115,26 @@ class SymbolicMachine:
         Optional pre-built input variable handles (so two machines can
         share their primary inputs); must match the circuit's input
         count.
+    partitioned:
+        When true, image computation folds ``relprod`` over the
+        per-latch conjuncts in :attr:`partitions`; the monolithic
+        :attr:`transition` is still available but built lazily.  When
+        false the historical monolithic relation is built eagerly and
+        used throughout.  The default ``"auto"`` decides from support
+        sparsity: partitioning pays exactly when early quantification
+        can fire, so machines whose next-state functions touch at most
+        half the variables on average stay partitioned, while dense
+        machines -- where every conjunct mentions nearly everything and
+        nothing can be quantified before the last step -- fall back to
+        the monolith, which is built once and reused every iteration.
+        The resolved boolean is exposed as :attr:`partitioned`.
     """
+
+    #: ``partitioned="auto"`` keeps the machine partitioned when the
+    #: image chain's working set never grows by more than this many
+    #: variables over the state set itself (see
+    #: :meth:`_early_quantification_pays`).
+    AUTO_PARTITION_PEAK_WIDTH = 2
 
     def __init__(
         self,
@@ -62,7 +143,12 @@ class SymbolicMachine:
         *,
         prefix: str = "",
         input_vars: Optional[Sequence[BDD]] = None,
+        partitioned: object = "auto",
     ) -> None:
+        if partitioned not in (True, False, "auto"):
+            raise ValueError(
+                "partitioned must be True, False or 'auto', not %r" % (partitioned,)
+            )
         self.circuit = circuit
         self.manager = manager if manager is not None else BDDManager()
         m = self.manager
@@ -108,16 +194,61 @@ class SymbolicMachine:
         #: Output function per primary output, over (state, input) vars.
         self.output_functions: List[BDD] = [values[net] for net in circuit.outputs]
 
-        #: The monolithic transition relation T(s, i, s').
-        relation = m.true
-        for nxt_var, fn in zip(self.next_vars, self.next_functions):
-            relation = relation & nxt_var.iff(fn)
-        self.transition = relation
+        #: Conjunctively partitioned transition relation: one conjunct
+        #: ``s_k' <-> f_k(s, i)`` per latch, in latch order.
+        self.partitions: List[BDD] = [
+            nxt_var.iff(fn)
+            for nxt_var, fn in zip(self.next_vars, self.next_functions)
+        ]
+        if partitioned == "auto":
+            partitioned = self._early_quantification_pays()
+        self.partitioned = partitioned
+        self._transition: Optional[BDD] = None
+        if not partitioned:
+            self._transition = m.conjunction(self.partitions)
 
         self._next_to_state = dict(zip(self.next_names, self.state_names))
         self._state_to_next = dict(zip(self.state_names, self.next_names))
         self._transition_by_symbol: Dict[int, BDD] = {}
+        self._partitions_by_symbol: Dict[int, List[BDD]] = {}
         self._outputs_by_symbol: Dict[int, List[BDD]] = {}
+        self._image_plan = None
+        self._preimage_plan = None
+        self._image_plan_by_symbol: Dict[int, object] = {}
+        self._preimage_plan_by_symbol: Dict[int, object] = {}
+
+    def _early_quantification_pays(self) -> bool:
+        """The ``partitioned="auto"`` heuristic: partitioning wins when
+        the early-quantification schedule keeps the image chain's
+        working set flat.  Each chain step introduces one next-state
+        variable; when the kills keep pace (shift registers,
+        permutations, pipelines) every intermediate product ranges over
+        about as many variables as the state set itself and the chain
+        is cheap.  When introductions outrun kills -- entangled
+        machines whose variables are shared across many conjuncts --
+        the intermediates range over nearly everything at once, the
+        chain re-pays that cost on *every* image, and the once-built
+        monolith wins."""
+        if not self.partitions:
+            return False
+        quantify = self.state_names + self.input_names
+        _, steps = quantification_schedule(
+            self.manager, self.partitions, quantify
+        )
+        peak = balance = 0
+        for _, kill in steps:
+            balance += 1 - len(kill)
+            if balance > peak:
+                peak = balance
+        return peak <= self.AUTO_PARTITION_PEAK_WIDTH
+
+    @property
+    def transition(self) -> BDD:
+        """The monolithic transition relation ``T(s, i, s')`` (built on
+        first access when the machine is partitioned)."""
+        if self._transition is None:
+            self._transition = self.manager.conjunction(self.partitions)
+        return self._transition
 
     # -- state-set helpers ---------------------------------------------------
 
@@ -172,8 +303,23 @@ class SymbolicMachine:
         ``T(s, s') = T(s, i=symbol, s')`` (cached per symbol)."""
         cached = self._transition_by_symbol.get(symbol)
         if cached is None:
-            cached = self.transition.restrict(self.input_assignment(symbol))
+            if self.partitioned:
+                cached = self.manager.conjunction(self.partitions_for(symbol))
+            else:
+                cached = self.transition.restrict(self.input_assignment(symbol))
             self._transition_by_symbol[symbol] = cached
+        return cached
+
+    def partitions_for(self, symbol: int) -> List[BDD]:
+        """The per-latch conjuncts cofactored at one input symbol
+        (cached per symbol) -- tiny compared to the monolithic
+        restriction, and what :meth:`image_for` / :meth:`preimage_for`
+        fold over."""
+        cached = self._partitions_by_symbol.get(symbol)
+        if cached is None:
+            assignment = self.input_assignment(symbol)
+            cached = [part.restrict(assignment) for part in self.partitions]
+            self._partitions_by_symbol[symbol] = cached
         return cached
 
     def outputs_for(self, symbol: int) -> List[BDD]:
@@ -188,13 +334,17 @@ class SymbolicMachine:
     def roots(self) -> List[BDD]:
         """Every BDD this machine owns -- the GC-protection set a
         fixpoint loop passes to :meth:`BDDManager.collect`."""
-        handles: List[BDD] = [self.transition]
+        handles: List[BDD] = list(self.partitions)
+        if self._transition is not None:
+            handles.append(self._transition)
         handles.extend(self.state_vars)
         handles.extend(self.next_vars)
         handles.extend(self.input_vars)
         handles.extend(self.next_functions)
         handles.extend(self.output_functions)
         handles.extend(self._transition_by_symbol.values())
+        for parts in self._partitions_by_symbol.values():
+            handles.extend(parts)
         for outputs in self._outputs_by_symbol.values():
             handles.extend(outputs)
         return handles
@@ -202,17 +352,69 @@ class SymbolicMachine:
     # -- image operators ---------------------------------------------------------
 
     def image(self, states: BDD) -> BDD:
-        """One-step forward image under all inputs (fused and-exists)."""
-        step = self.manager.relprod(
-            states, self.transition, self.state_names + self.input_names
-        )
+        """One-step forward image under all inputs (fused and-exists,
+        folded over the partition when partitioned)."""
+        quantify = self.state_names + self.input_names
+        if self.partitioned:
+            if self._image_plan is None:
+                self._image_plan = quantification_schedule(
+                    self.manager, self.partitions, quantify
+                )
+            step = relprod_chain(
+                self.manager, states, self.partitions, quantify,
+                plan=self._image_plan,
+            )
+        else:
+            step = self.manager.relprod(states, self.transition, quantify)
         return step.rename(self._next_to_state)
 
     def preimage(self, states: BDD) -> BDD:
         """One-step backward image under all inputs."""
         primed = states.rename(self._state_to_next)
-        return self.manager.relprod(
-            primed, self.transition, self.next_names + self.input_names
+        quantify = self.next_names + self.input_names
+        if self.partitioned:
+            if self._preimage_plan is None:
+                self._preimage_plan = quantification_schedule(
+                    self.manager, self.partitions, quantify
+                )
+            return relprod_chain(
+                self.manager, primed, self.partitions, quantify,
+                plan=self._preimage_plan,
+            )
+        return self.manager.relprod(primed, self.transition, quantify)
+
+    def image_for(self, symbol: int, states: BDD) -> BDD:
+        """One-step forward image under a single input symbol -- the
+        per-edge step of the subset fixpoint, folded over the cofactored
+        partition so the monolithic per-symbol relation is never needed."""
+        if not self.partitioned:
+            step = self.manager.relprod(
+                states, self.transition_for(symbol), self.state_names
+            )
+            return step.rename(self._next_to_state)
+        plan = self._image_plan_by_symbol.get(symbol)
+        parts = self.partitions_for(symbol)
+        if plan is None:
+            plan = quantification_schedule(self.manager, parts, self.state_names)
+            self._image_plan_by_symbol[symbol] = plan
+        step = relprod_chain(self.manager, states, parts, self.state_names, plan=plan)
+        return step.rename(self._next_to_state)
+
+    def preimage_for(self, symbol: int, states_primed: BDD) -> BDD:
+        """One-step backward image under a single input symbol;
+        *states_primed* is already over next-state variables (the
+        witness-reconstruction convention)."""
+        if not self.partitioned:
+            return self.manager.relprod(
+                states_primed, self.transition_for(symbol), self.next_names
+            )
+        plan = self._preimage_plan_by_symbol.get(symbol)
+        parts = self.partitions_for(symbol)
+        if plan is None:
+            plan = quantification_schedule(self.manager, parts, self.next_names)
+            self._preimage_plan_by_symbol[symbol] = plan
+        return relprod_chain(
+            self.manager, states_primed, parts, self.next_names, plan=plan
         )
 
     def reachable(self, initial: BDD) -> BDD:
@@ -333,8 +535,12 @@ def product_outputs_equivalent(
     state_names = mc.state_names + md.state_names
     next_names = mc.next_names + md.next_names
     rename = {**mc._next_to_state, **md._next_to_state}  # noqa: SLF001
-    transition = mc.transition & md.transition
     input_names = mc.input_names
+    quantify = state_names + input_names
+    # The product relation stays partitioned: one conjunct per latch of
+    # either machine, folded by the fused relprod under one schedule.
+    partitions = mc.partitions + md.partitions
+    plan = quantification_schedule(manager, partitions, quantify)
 
     mismatch = manager.false
     for fc, fd in zip(mc.output_functions, md.output_functions):
@@ -346,7 +552,7 @@ def product_outputs_equivalent(
         bad = total & mismatch
         if not bad.is_false:
             return False, bad.satisfy_one()
-        step = manager.relprod(total, transition, state_names + input_names)
+        step = relprod_chain(manager, total, partitions, quantify, plan=plan)
         new = step.rename(rename) & ~total
         if new.is_false:
             return True, None

@@ -56,6 +56,24 @@ symbolic path above it -- never the ``sat`` engine
 query undecided (it raises rather than guessing).  :func:`set_default_engine` installs a process-wide
 default, mirroring ``repro.sim.compiled.set_default_backend``.
 
+Dynamic variable reordering
+---------------------------
+
+The checker builds both machines with **conjunctively partitioned**
+transition relations where partitioning pays
+(``partitioned="auto"``, resolved per machine from the early
+quantification schedule -- see :mod:`repro.stg.symbolic`; pass
+``True``/``False`` to force it) and threads the
+manager's dynamic-reordering knob: ``reorder="auto"`` (the process
+default, changeable via :func:`set_default_reorder` / ``--reorder``)
+lets the manager sift itself when it crosses its node threshold,
+``"manual"`` sifts exactly once after compilation, ``"off"`` pins the
+declaration order.  Verdicts and minimal-length witnesses are
+bit-identical in every mode and partitioning -- the orders are decided
+over canonical functions and witnesses are reconstructed
+lexicographically -- so the knob only trades node count against wall
+time (``tests/stg/test_reorder_differential.py`` locks this down).
+
 All fixpoints run bounded: the subset search raises
 :class:`~repro.stg.replaceability.SearchBudgetExceeded` beyond
 ``max_buckets`` nodes, and every loop garbage-collects the BDD manager
@@ -68,15 +86,16 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..logic.bdd import BDD, BDDManager
+from ..logic.bdd import BDD, BDDManager, REORDER_MODES
 from ..netlist.circuit import Circuit
 from ..obs.trace import TRACER as _TRACE
 from ..obs.trace import span as _span
 from .replaceability import SafeReplacementViolation, SearchBudgetExceeded
-from .symbolic import SymbolicMachine
+from .symbolic import SymbolicMachine, quantification_schedule, relprod_chain
 
 __all__ = [
     "ENGINES",
+    "REORDER_MODES",
     "AUTO_SYMBOLIC_LATCH_THRESHOLD",
     "MAX_SYMBOLIC_BUCKETS",
     "GC_NODE_LIMIT",
@@ -84,6 +103,9 @@ __all__ = [
     "get_default_engine",
     "set_default_engine",
     "resolve_engine",
+    "get_default_reorder",
+    "set_default_reorder",
+    "resolve_reorder",
     "symbolic_implies",
     "symbolic_machines_equivalent",
     "symbolic_delayed_implies",
@@ -113,6 +135,7 @@ MAX_SYMBOLIC_BUCKETS = 50000
 GC_NODE_LIMIT = 400000
 
 _DEFAULT_ENGINE = "auto"
+_DEFAULT_REORDER = "auto"
 
 
 def get_default_engine() -> str:
@@ -126,6 +149,40 @@ def set_default_engine(name: str) -> None:
     if name not in ENGINES:
         raise ValueError("unknown engine %r (choose from %s)" % (name, ENGINES))
     _DEFAULT_ENGINE = name
+
+
+def get_default_reorder() -> str:
+    """The process-wide BDD reordering mode (``--reorder`` default)."""
+    return _DEFAULT_REORDER
+
+
+def set_default_reorder(mode: str) -> None:
+    """Install the process-wide BDD reordering mode default.
+
+    ``auto`` (the default) lets the manager sift when the live node
+    count crosses its threshold; ``off`` pins the declaration order
+    (the historical behaviour); ``manual`` sifts exactly once, after
+    both machines are compiled.  Verdicts and witnesses are identical
+    in every mode -- the differential suite asserts it -- only node
+    counts and wall time differ.
+    """
+    global _DEFAULT_REORDER
+    if mode not in REORDER_MODES:
+        raise ValueError(
+            "unknown reorder mode %r (choose from %s)" % (mode, REORDER_MODES)
+        )
+    _DEFAULT_REORDER = mode
+
+
+def resolve_reorder(mode: Optional[str]) -> str:
+    """Map a ``--reorder`` value (or ``None`` = process default) to a
+    concrete mode name."""
+    name = mode if mode is not None else _DEFAULT_REORDER
+    if name not in REORDER_MODES:
+        raise ValueError(
+            "unknown reorder mode %r (choose from %s)" % (name, REORDER_MODES)
+        )
+    return name
 
 
 def resolve_engine(
@@ -200,17 +257,39 @@ class SymbolicContainmentChecker:
         *,
         manager: Optional[BDDManager] = None,
         gc_node_limit: int = GC_NODE_LIMIT,
+        reorder: Optional[str] = None,
+        partitioned: object = "auto",
+        node_budget: Optional[int] = None,
     ) -> None:
         _check_interfaces(c, d)
         self.c = c
         self.d = d
-        self.manager = manager if manager is not None else BDDManager()
+        self.reorder = resolve_reorder(reorder)
+        if manager is None:
+            manager = BDDManager(reorder=self.reorder, node_limit=node_budget)
+        elif reorder is not None:
+            manager.reorder_mode = self.reorder
+        self.manager = manager
         self.gc_node_limit = gc_node_limit
         with _span("stg.symbolic.compile"):
-            self.mc = SymbolicMachine(c, self.manager, prefix="c.")
-            self.md = SymbolicMachine(
-                d, self.manager, prefix="d.", input_vars=self.mc.input_vars
+            self.mc = SymbolicMachine(
+                c, self.manager, prefix="c.", partitioned=partitioned
             )
+            self.md = SymbolicMachine(
+                d,
+                self.manager,
+                prefix="d.",
+                input_vars=self.mc.input_vars,
+                partitioned=partitioned,
+            )
+        # The product fixpoints chain conjuncts only when both machines
+        # resolved to partitioned (with "auto", per support sparsity).
+        self.partitioned = self.mc.partitioned and self.md.partitioned
+        if self.reorder == "manual":
+            # One sifting pass at the natural safe point: both machines
+            # compiled, no fixpoint in flight.
+            with _span("stg.symbolic.reorder"):
+                self.manager.reorder()
         self._equivalence: Optional[BDD] = None
         self._has_partner: Optional[BDD] = None
 
@@ -242,20 +321,37 @@ class SymbolicContainmentChecker:
             for fc, fd in zip(mc.output_functions, md.output_functions):
                 outputs_match = outputs_match & fc.iff(fd)
             relation = outputs_match.forall(mc.input_names)
-            product = mc.transition & md.transition
             prime = {**mc._state_to_next, **md._state_to_next}  # noqa: SLF001
             quantify = mc.input_names + mc.next_names + md.next_names
+            if self.partitioned:
+                # The product relation stays a list of per-latch
+                # conjuncts; the chain folds them under one early
+                # quantification schedule.
+                partitions = mc.partitions + md.partitions
+                plan = quantification_schedule(manager, partitions, quantify)
+                product = None
+            else:
+                partitions = None
+                plan = None
+                product = mc.transition & md.transition
             iterations = 0
             while True:
                 iterations += 1
                 primed = relation.rename(prime)
                 # Pairs with SOME input stepping outside the relation.
-                escaping = manager.relprod(product, ~primed, quantify)
+                if partitions is not None:
+                    escaping = relprod_chain(
+                        manager, ~primed, partitions, quantify, plan=plan
+                    )
+                else:
+                    escaping = manager.relprod(product, ~primed, quantify)
                 refined = relation & ~escaping
                 if refined == relation:
                     break
                 relation = refined
-                self._maybe_collect([relation, product])
+                self._maybe_collect(
+                    [relation] if product is None else [relation, product]
+                )
         self._equivalence = relation
         self._has_partner = relation.exists(md.state_names)
         if _TRACE.enabled:
@@ -389,8 +485,6 @@ class SymbolicContainmentChecker:
         num_symbols = 1 << len(self.c.inputs)
         num_outputs = len(self.c.outputs)
         out_symbols = range(1 << num_outputs)
-        rename_c = mc._next_to_state  # noqa: SLF001
-        rename_d = md._next_to_state  # noqa: SLF001
         c_cubes: Dict = {}
         d_cubes: Dict = {}
 
@@ -410,8 +504,6 @@ class SymbolicContainmentChecker:
                         % max_buckets
                     )
                 for symbol in range(num_symbols):
-                    transition_c = mc.transition_for(symbol)
-                    transition_d = md.transition_for(symbol)
                     for out in out_symbols:
                         emitting = bucket.a_set & self._output_cube(
                             mc, symbol, out, c_cubes
@@ -421,18 +513,14 @@ class SymbolicContainmentChecker:
                         matched = bucket.subset & self._output_cube(
                             md, symbol, out, d_cubes
                         )
-                        new_subset = manager.relprod(
-                            matched, transition_d, md.state_names
-                        ).rename(rename_d)
+                        new_subset = md.image_for(symbol, matched)
                         if new_subset.is_false:
                             # No D-state matched this history: violation.
                             if _TRACE.enabled:
                                 _TRACE.incr("stg.symbolic.buckets", processed)
                             _publish_bdd_stats(manager)
                             return self._reconstruct(bucket, symbol, out, emitting)
-                        new_a = manager.relprod(
-                            emitting, transition_c, mc.state_names
-                        ).rename(rename_c)
+                        new_a = mc.image_for(symbol, emitting)
                         entry = seen.get(new_subset.index)
                         previous = entry[1] if entry is not None else manager.false
                         fresh = new_a & ~previous
@@ -455,7 +543,7 @@ class SymbolicContainmentChecker:
     ) -> SafeReplacementViolation:
         """Walk the frontier chain back to a concrete power-up state of
         C and the concrete input/output strings of the violation."""
-        manager, mc = self.manager, self.mc
+        mc = self.mc
         prime_c = mc._state_to_next  # noqa: SLF001
         c_cubes: Dict = {}
         symbols: List[int] = [symbol]
@@ -468,9 +556,7 @@ class SymbolicContainmentChecker:
             outputs.append(node.out)
             # Parent states that emit node.out and step into `current`.
             primed = current.rename(prime_c)
-            predecessors = manager.relprod(
-                mc.transition_for(node.symbol), primed, mc.next_names
-            )
+            predecessors = mc.preimage_for(node.symbol, primed)
             current = (
                 node.parent.a_set
                 & self._output_cube(mc, node.symbol, node.out, c_cubes)

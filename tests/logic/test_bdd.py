@@ -148,11 +148,20 @@ def test_rename_adjacent_pairs(m):
     assert g == (s0 & ~s1)
 
 
-def test_rename_rejects_order_incompatible(m):
+def test_rename_order_incompatible_falls_back_to_substitution(m):
+    # {a->b, b->a} would swap levels, so the linear relabelling walk is
+    # unsound; the general simultaneous-substitution path must kick in.
     a, b = m.declare("a", "b")
     f = a & ~b
-    with pytest.raises(ValueError, match="order-compatible"):
-        f.rename({"a": "b", "b": "a"})  # would swap levels
+    assert f.rename({"a": "b", "b": "a"}) == (b & ~a)
+    g = (a | b).rename({"a": "b", "b": "a"})
+    assert g == (a | b)  # symmetric function is a fixpoint
+
+
+def test_rename_rejects_unregistered_variable(m):
+    a, b = m.declare("a", "b")
+    with pytest.raises(KeyError, match="unregistered"):
+        (a & b).rename({"a": "zz"})
 
 
 def test_rename_empty_mapping_is_identity(m):

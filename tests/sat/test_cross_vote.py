@@ -1,14 +1,16 @@
-"""Slow tier: three engines, one ballot per pair, unanimity required.
+"""Slow tier: four engines, one ballot per pair, unanimity required.
 
-The repo now carries three decision procedures for the paper's orders
-with disjoint machinery -- explicit subset construction over enumerated
-STGs, symbolic BDD fixpoints, and bounded CNF unrolling under CDCL.
-This suite has each of them vote on the same containment questions over
-a few hundred random pairs plus the structured circuit families, and
-fails on any split ballot.  SAT violations additionally have their
-witnesses replayed through the stock simulators, so a unanimous wrong
-answer would still need three independent bugs *and* a broken
-simulator to slip through.
+The repo now carries four decision procedures for the paper's orders --
+explicit subset construction over enumerated STGs, symbolic BDD
+fixpoints under a fixed variable order, the same fixpoints under
+dynamic reordering (auto sifting) with a partitioned transition
+relation, and bounded CNF unrolling under CDCL.  This suite has each of
+them vote on the same containment questions over a few hundred random
+pairs plus the structured circuit families, and fails on any split
+ballot.  SAT violations additionally have their witnesses replayed
+through the stock simulators, so a unanimous wrong answer would still
+need several independent bugs *and* a broken simulator to slip
+through.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from repro.bench.paper_circuits import (
     figure3_design_c,
     figure3_design_d,
 )
+from repro.logic.bdd import BDDManager
 from repro.sat import check_safe_replacement, sat_implies
 from repro.sat.replay import replay_witness
 from repro.stg.equivalence import implies
@@ -61,15 +64,26 @@ def _random_pair(seed, *, max_latches=3):
     return c, d
 
 
+def _reordering_checker(c, d):
+    """The fourth voter: auto sifting at a deliberately low threshold
+    (so it really fires) over the partitioned transition relation."""
+    manager = BDDManager(reorder="auto", reorder_threshold=256)
+    return SymbolicContainmentChecker(
+        c, d, manager=manager, reorder="auto", partitioned=True
+    )
+
+
 def _cross_vote(c, d, seed=None):
-    """All three engines vote on ⊑ and ≼; any split fails the test."""
+    """All four engines vote on ⊑ and ≼; any split fails the test."""
     tag = "" if seed is None else " (seed %s)" % seed
     c_stg, d_stg = extract_stg(c), extract_stg(d)
-    checker = SymbolicContainmentChecker(c, d)
+    checker = SymbolicContainmentChecker(c, d, reorder="off")
+    reordering = _reordering_checker(c, d)
 
     votes = {
         "explicit": implies(c_stg, d_stg),
         "symbolic": checker.implies(),
+        "symbolic+reorder": reordering.implies(),
         "sat": sat_implies(c, d),
     }
     assert len(set(votes.values())) == 1, "implication ballot split%s: %r" % (
@@ -79,9 +93,25 @@ def _cross_vote(c, d, seed=None):
 
     explicit_v = find_violation(c_stg, d_stg)
     symbolic_v = symbolic_find_violation(c, d)
+    reorder_v = reordering.find_violation()
     assert (explicit_v is None) == (symbolic_v is None), (
         "safe-replacement ballot split (explicit vs symbolic)%s" % tag
     )
+    assert (explicit_v is None) == (reorder_v is None), (
+        "safe-replacement ballot split (explicit vs symbolic+reorder)%s" % tag
+    )
+    if symbolic_v is not None:
+        # The reordering engine is the same algorithm under a different
+        # variable order, so its witness must be bit-identical.
+        assert (
+            reorder_v.c_state,
+            reorder_v.input_symbols,
+            reorder_v.c_outputs,
+        ) == (
+            symbolic_v.c_state,
+            symbolic_v.input_symbols,
+            symbolic_v.c_outputs,
+        ), "reordering engine reconstructed a different witness%s" % tag
     try:
         sat_result = check_safe_replacement(c, d)
     except SearchBudgetExceeded:

@@ -19,6 +19,33 @@ class TestServiceStats:
             "circuits": {"hits": 0, "misses": 0},
             "parsed": {"hits": 0, "misses": 0},
         }
+        assert snap["reorder"] == {
+            "requests": {},
+            "runs": 0,
+            "auto_triggers": 0,
+            "swaps": 0,
+            "nodes_reclaimed": 0,
+        }
+
+    def test_record_reorder_folds_manager_counters(self):
+        stats = ServiceStats()
+        stats.record_reorder(
+            "auto",
+            {"reorder.runs": 2, "reorder.auto_triggers": 2, "reorder.swaps": 40,
+             "reorder.nodes_reclaimed": 900, "peak_live_nodes": 12345},
+        )
+        stats.record_reorder("off", {})
+        stats.record_reorder("auto", {"reorder.runs": 1, "reorder.swaps": 5})
+        snap = stats.snapshot()["reorder"]
+        assert snap["requests"] == {"auto": 2, "off": 1}
+        assert snap["runs"] == 3
+        assert snap["auto_triggers"] == 2
+        assert snap["swaps"] == 45
+        assert snap["nodes_reclaimed"] == 900
+        # Unrelated manager stats (peak_live_nodes) are not folded in.
+        assert set(snap) == {
+            "requests", "runs", "auto_triggers", "swaps", "nodes_reclaimed"
+        }
 
     def test_latency_first_p50_max(self):
         stats = ServiceStats()

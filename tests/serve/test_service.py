@@ -516,3 +516,78 @@ class TestTracing:
         assert report["schema"] >= 1
         assert report["meta"]["label"] == "serve.check-validity"
         assert report["spans"], "traced request recorded no spans"
+
+
+class TestReorder:
+    """Dynamic BDD reordering through the service: a performance knob,
+    never a semantic one -- envelopes must be bit-identical across
+    modes, with the reorder activity visible only in the report."""
+
+    def test_ping_exposes_reorder_default(self, client):
+        pong = client.result({"op": "ping"})
+        assert pong["reorder"] in ("off", "auto", "manual")
+
+    def test_bad_reorder_mode_rejected(self, client):
+        _load_pair(client, *_pair())
+        resp = client.request(
+            {
+                "op": "safe-replacement",
+                "candidate": "ret",
+                "original": "orig",
+                "engine": "symbolic",
+                "reorder": "sometimes",
+            }
+        )
+        assert resp["error"]["code"] == "bad-request"
+        assert "reorder" in resp["error"]["message"]
+
+    def test_envelopes_bit_identical_across_reorder_modes(self, client):
+        """The whole response envelope -- verdict, engine tag, witness
+        fields included -- is byte-for-byte identical under
+        ``reorder=off``, ``auto`` and ``manual``, for both a safe pair
+        and one with a violation (the paper's Figure 1 pair)."""
+        original, retimed = _pair()
+        _load_pair(client, original, retimed)
+        c, d = figure1_design_c(), figure1_design_d()
+        client.result({"op": "load", "name": "c", "bench": write_bench(c)})
+        client.result({"op": "load", "name": "d", "bench": write_bench(d)})
+        for candidate, orig in (("ret", "orig"), ("c", "d")):
+            envelopes = {}
+            for mode in ("off", "auto", "manual"):
+                resp = client.request(
+                    {
+                        "op": "safe-replacement",
+                        "candidate": candidate,
+                        "original": orig,
+                        "engine": "symbolic",
+                        "reorder": mode,
+                    }
+                )
+                assert resp["ok"], resp
+                # Timing and the client's running request id are the
+                # only legitimately varying fields.
+                del resp["elapsed_ms"], resp["id"]
+                envelopes[mode] = json.dumps(resp, sort_keys=True)
+            assert envelopes["auto"] == envelopes["off"]
+            assert envelopes["manual"] == envelopes["off"]
+
+    def test_report_accumulates_reorder_counters(self, client):
+        _load_pair(client, *_pair())
+        for mode in ("off", "auto", "auto", "manual"):
+            client.result(
+                {
+                    "op": "safe-replacement",
+                    "candidate": "ret",
+                    "original": "orig",
+                    "engine": "symbolic",
+                    "reorder": mode,
+                }
+            )
+        reorder = client.result({"op": "report"})["reorder"]
+        assert reorder["requests"] == {"off": 1, "auto": 2, "manual": 1}
+        # Manual mode sifts up front on every request, so the run and
+        # swap counters must have moved; nothing ever goes negative.
+        assert reorder["runs"] >= 1
+        assert reorder["swaps"] >= 1
+        for key in ("runs", "auto_triggers", "swaps", "nodes_reclaimed"):
+            assert reorder[key] >= 0
