@@ -2,10 +2,16 @@
 
 ``s27`` is the real ISCAS-89 benchmark (the standard 3-latch, 10-gate
 controller used throughout the sequential-synthesis literature of the
-paper's era).  The remaining entries are small sequential designs
-authored for this reproduction in the same format -- labelled
-``mini_*`` to make their provenance unambiguous.  Everything here is
-offline text: no files, no network.
+paper's era).  The remaining embedded entries are small sequential
+designs authored for this reproduction in the same format -- labelled
+``mini_*`` to make their provenance unambiguous.
+
+Beyond the embedded zoo, :func:`iscas89_names` lists the ISCAS-89
+corpus shipped as ``.bench`` data files under ``bench/iscas89/``:
+reconstructions of s208..s526 at the published interface/flip-flop/
+gate statistics (see ``tools/reconstruct_iscas89.py`` for provenance
+and regeneration), plus s27 itself.  :func:`load` resolves both
+registries by name.  Everything is offline: package data, no network.
 
 Circuits are returned via :func:`load`, already fanout-normalised (the
 paper's Section 3.2 normal form) unless ``normalize=False``.
@@ -13,13 +19,14 @@ paper's Section 3.2 normal form) unless ``normalize=False``.
 
 from __future__ import annotations
 
+import pathlib
 from typing import Dict, Tuple
 
 from ..netlist.circuit import Circuit
 from ..netlist.io_bench import parse_bench
 from ..netlist.transform import normalize_fanout
 
-__all__ = ["BENCHMARKS", "names", "load"]
+__all__ = ["BENCHMARKS", "names", "iscas89_names", "load"]
 
 _S27 = """
 # s27 -- ISCAS-89 sequential benchmark
@@ -167,23 +174,52 @@ BENCHMARKS: Dict[str, str] = {
 }
 
 
+#: ISCAS-89 circuits shipped as ``.bench`` data files (s27 is embedded
+#: text above; the rest live under ``bench/iscas89/``).  Ordered by
+#: circuit size, the conventional ISCAS presentation order.
+ISCAS89_NAMES: Tuple[str, ...] = (
+    "s27",
+    "s208",
+    "s298",
+    "s344",
+    "s349",
+    "s382",
+    "s386",
+    "s420",
+    "s444",
+    "s526",
+)
+
+_DATA_DIR = pathlib.Path(__file__).resolve().parent / "iscas89"
+
+
 def names() -> Tuple[str, ...]:
     """All embedded benchmark names, stable order."""
     return tuple(BENCHMARKS)
 
 
+def iscas89_names() -> Tuple[str, ...]:
+    """The ISCAS-89 corpus names (s27 plus the nine file-backed
+    circuits), smallest first."""
+    return ISCAS89_NAMES
+
+
 def load(name: str, *, normalize: bool = True) -> Circuit:
-    """Parse the embedded benchmark *name*.
+    """Parse the embedded or file-backed benchmark *name*.
 
     With ``normalize=True`` (default) the circuit is returned in
     single-fanout normal form, ready for the retiming move engine.
     """
-    try:
+    if name in BENCHMARKS:
         text = BENCHMARKS[name]
-    except KeyError:
-        raise KeyError(
-            "unknown benchmark %r (available: %s)" % (name, ", ".join(BENCHMARKS))
-        )
+    else:
+        path = _DATA_DIR / ("%s.bench" % name)
+        if name not in ISCAS89_NAMES or not path.is_file():
+            raise KeyError(
+                "unknown benchmark %r (available: %s)"
+                % (name, ", ".join(tuple(BENCHMARKS) + ISCAS89_NAMES[1:]))
+            )
+        text = path.read_text()
     circuit = parse_bench(text, name=name)
     if normalize:
         circuit = normalize_fanout(circuit)

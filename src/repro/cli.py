@@ -51,6 +51,10 @@ Subcommands:
                 unix socket, and compatible CLS sweeps from concurrent
                 requests are micro-batched into shared lane passes
                 (protocol reference: ``docs/SERVICE.md``)
+``fuzz``        cross-engine conformance fuzzing: replay the regression
+                corpus, stream seeded random cases through the engine x
+                backend matrix, shrink and bundle any disagreement
+                (exit 1 if one survives; contract: ``docs/TESTING.md``)
 
 All commands read and write ISCAS-89 ``.bench`` files (BLIF via the
 ``.blif`` extension), the formats the benchmark circuits of the paper's
@@ -275,7 +279,7 @@ def cmd_retime(args: argparse.Namespace) -> int:
     print("period:    %d -> %d" % (graph.clock_period(), after.clock_period()))
     print("registers: %d -> %d" % (graph.num_registers, after.num_registers))
     print(session.summary())
-    if not cls_equivalent(circuit, retimed, count=6, length=10):
+    if not cls_equivalent(circuit, retimed, count=6, length=10, seed=args.seed):
         print("WARNING: CLS invariance check failed -- this is a bug", file=sys.stderr)
         return 2
     print("CLS invariance (sampled): OK")
@@ -289,8 +293,13 @@ def cmd_check(args: argparse.Namespace) -> int:
     original = _load(args.original)
     retimed = _load(args.retimed)
     print(banner("checking %s against %s" % (args.retimed, args.original)))
-    sampled = cls_equivalent(original, retimed, count=args.samples, length=args.length)
-    print("CLS equivalence (sampled %d sequences): %s" % (args.samples, sampled))
+    sampled = cls_equivalent(
+        original, retimed, count=args.samples, length=args.length, seed=args.seed
+    )
+    print(
+        "CLS equivalence (sampled %d sequences, seed %d): %s"
+        % (args.samples, args.seed, sampled)
+    )
     verdict = 0 if sampled else 1
     if args.exhaustive:
         witness = decide_cls_equivalence(original, retimed)
@@ -555,6 +564,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .qa.fuzz import run_fuzz
+
+    if args.iterations is None and args.time_budget is None:
+        args.iterations = 200
+    client = None
+    server = None
+    try:
+        if args.matrix == "full":
+            # The served arms need a live service; run one on a daemon
+            # thread for the duration of the fuzz.
+            from .serve.client import ServeClient, start_background_server
+
+            server, address, _thread = start_background_server(port=0)
+            client = ServeClient(address)
+        outcome = run_fuzz(
+            seed=args.seed,
+            iterations=args.iterations,
+            time_budget=args.time_budget,
+            matrix=args.matrix,
+            corpus_dir=args.corpus,
+            client=client,
+            log=lambda line: print(line, flush=True),
+        )
+    finally:
+        if client is not None:
+            try:
+                client.request({"op": "shutdown"})
+                client.close()
+            except Exception:
+                pass
+    print(outcome.summary())
+    return 0 if outcome.ok else 1
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing.
 # ---------------------------------------------------------------------------
@@ -638,6 +682,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="gate delay table used for period computation",
     )
     p.add_argument("-o", "--output", help="write the retimed .bench here")
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the sampled CLS invariance self-check",
+    )
     p.set_defaults(func=cmd_retime)
 
     p = sub.add_parser("check", help="verify retimed vs original")
@@ -645,6 +693,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("retimed")
     p.add_argument("--samples", type=int, default=20)
     p.add_argument("--length", type=int, default=12)
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the sampled sequence batch (logged in the verdict "
+        "line, so any failure reproduces from the printed command alone)",
+    )
     p.add_argument("--exhaustive", action="store_true")
     p.add_argument("--stg", action="store_true", help="also run STG implication analysis")
     p.add_argument("--max-stg-bits", type=int, default=16)
@@ -740,6 +793,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the rolling service report here on shutdown",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="cross-engine conformance fuzzing (corpus replay + seeded "
+        "random differentials; see docs/TESTING.md)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="master seed for the recipe stream")
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fuzz N cases (default 200 when no --time-budget is given)",
+    )
+    p.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop starting new cases after this much wall clock",
+    )
+    p.add_argument(
+        "--matrix",
+        choices=("quick", "std", "full"),
+        default="std",
+        help="arm matrix: quick (explicit+symbolic), std (+reorder, "
+        "sat, words lanes), full (+served arms; spawns a background "
+        "server)",
+    )
+    p.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="regression corpus: replay every bundle in DIR first, and "
+        "write shrunk bundles for new disagreements there",
+    )
+    p.set_defaults(func=cmd_fuzz)
 
     return parser
 

@@ -1,0 +1,177 @@
+"""The fuzz driver: corpus replay, then budgeted random differentials.
+
+:func:`run_fuzz` is everything behind ``repro fuzz``:
+
+1. **Corpus replay.**  Every bundle already in ``corpus_dir`` is
+   replayed first (the regression contract -- committed bundles must
+   agree).  A replayed disagreement is a *surviving* failure.
+2. **Fuzzing.**  Recipes ``random_recipe(seed, i)`` stream through
+   :func:`~repro.qa.differential.run_differential` until the iteration
+   count or the wall-clock budget runs out.  Each disagreement is
+   shrunk to a 1-minimal reproducer and written into the corpus as a
+   bundle; it, too, survives (this run cannot have fixed it).
+
+The outcome is deterministic for a given ``(seed, iterations, matrix,
+corpus)`` -- a failing CI line reproduces locally from those four
+values alone, and its bundle reproduces without even those.
+
+Counters (visible via ``--trace`` / ``--report``): ``qa.fuzz.cases``,
+``qa.fuzz.replayed``, ``qa.fuzz.disagreements``, ``qa.shrink.cases``,
+``qa.shrink.cells_removed``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+from ..obs import trace as _trace
+from .corpus import iter_bundles, write_bundle
+from .differential import MATRICES, run_differential
+from .generate import Case, build_case, random_recipe
+from .shrink import shrink_case
+
+__all__ = ["FuzzFailure", "FuzzOutcome", "run_fuzz"]
+
+_PathLike = Union[str, pathlib.Path]
+
+
+@dataclass
+class FuzzFailure:
+    """One surviving disagreement (fresh or replayed-from-corpus)."""
+
+    label: str
+    source: str  # "fuzz" | "corpus"
+    disagreements: List[str]
+    bundle: Optional[pathlib.Path] = None
+
+
+@dataclass
+class FuzzOutcome:
+    seed: int
+    matrix: str
+    iterations_run: int = 0
+    corpus_replayed: int = 0
+    elapsed: float = 0.0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            "fuzz seed=%d matrix=%s: %d corpus bundle%s replayed, "
+            "%d case%s fuzzed in %.1fs"
+            % (
+                self.seed,
+                self.matrix,
+                self.corpus_replayed,
+                "" if self.corpus_replayed == 1 else "s",
+                self.iterations_run,
+                "" if self.iterations_run == 1 else "s",
+                self.elapsed,
+            )
+        ]
+        if self.ok:
+            lines.append("no disagreements survive")
+        else:
+            lines.append("%d SURVIVING DISAGREEMENT(S):" % len(self.failures))
+            for failure in self.failures:
+                lines.append("  [%s] %s" % (failure.source, failure.label))
+                for problem in failure.disagreements:
+                    lines.append("    %s" % problem)
+                if failure.bundle is not None:
+                    lines.append("    bundle: %s" % failure.bundle)
+        return "\n".join(lines)
+
+
+def _shrink_predicate(matrix: str, client) -> Callable[[Case], bool]:
+    def predicate(case: Case) -> bool:
+        return not run_differential(case, matrix=matrix, client=client).agreed
+
+    return predicate
+
+
+def run_fuzz(
+    *,
+    seed: int,
+    iterations: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    matrix: str = "std",
+    corpus_dir: Optional[_PathLike] = None,
+    client=None,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzOutcome:
+    """Replay the corpus, then fuzz; see the module docstring.
+
+    At least one of *iterations* / *time_budget* (seconds) must bound
+    the run.  *log* (if given) receives one progress line per corpus
+    bundle and per disagreement.
+    """
+    if matrix not in MATRICES:
+        raise ValueError("unknown matrix %r (known: %s)" % (matrix, sorted(MATRICES)))
+    if iterations is None and time_budget is None:
+        raise ValueError("bound the run with iterations= and/or time_budget=")
+    say = log or (lambda line: None)
+    outcome = FuzzOutcome(seed=seed, matrix=matrix)
+    started = time.monotonic()
+
+    if corpus_dir is not None:
+        for bundle in iter_bundles(corpus_dir):
+            result = run_differential(bundle.case, matrix=bundle.matrix, client=client)
+            outcome.corpus_replayed += 1
+            _trace.incr("qa.fuzz.replayed")
+            if not result.agreed:
+                say("corpus bundle %s DISAGREES" % bundle.name)
+                outcome.failures.append(
+                    FuzzFailure(
+                        label=bundle.name,
+                        source="corpus",
+                        disagreements=result.disagreements,
+                        bundle=bundle.path,
+                    )
+                )
+
+    index = 0
+    while True:
+        if iterations is not None and index >= iterations:
+            break
+        if time_budget is not None and time.monotonic() - started >= time_budget:
+            break
+        case = build_case(random_recipe(seed, index))
+        index += 1
+        result = run_differential(case, matrix=matrix, client=client)
+        outcome.iterations_run += 1
+        _trace.incr("qa.fuzz.cases")
+        if result.agreed:
+            continue
+        _trace.incr("qa.fuzz.disagreements")
+        say("case %s DISAGREES: %s" % (case.label, result.disagreements))
+        shrunk = shrink_case(case, _shrink_predicate(matrix, client))
+        shrunk_result = run_differential(shrunk, matrix=matrix, client=client)
+        bundle_path = None
+        if corpus_dir is not None:
+            bundle_path = write_bundle(
+                corpus_dir,
+                shrunk,
+                matrix=matrix,
+                expected=shrunk_result.consensus(),
+                observed=[v.as_json() for v in shrunk_result.verdicts.values()],
+                disagreements=shrunk_result.disagreements,
+            )
+            say("  shrunk to %d+%d cells, bundled at %s"
+                % (shrunk.candidate.num_cells, shrunk.original.num_cells, bundle_path))
+        outcome.failures.append(
+            FuzzFailure(
+                label=case.label,
+                source="fuzz",
+                disagreements=result.disagreements,
+                bundle=bundle_path,
+            )
+        )
+
+    outcome.elapsed = time.monotonic() - started
+    return outcome

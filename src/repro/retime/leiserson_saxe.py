@@ -18,13 +18,23 @@ pass) -- entirely adequate for the benchmark sizes here.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Optional, Tuple
+
+import numpy
 
 from ..obs.trace import traced as _traced
-from .graph import HOST, HOST_OUT, HOST_VERTICES, RetimingEdge, RetimingGraph
+from .graph import HOST, HOST_OUT, RetimingEdge, RetimingGraph
 
-__all__ = ["WDMatrices", "compute_wd", "feas", "min_period_retiming", "MinPeriodResult"]
+__all__ = [
+    "WDMatrices",
+    "compute_wd",
+    "compute_wd_reference",
+    "feas",
+    "min_period_retiming",
+    "MinPeriodResult",
+]
 
 _INF = float("inf")
 
@@ -46,12 +56,55 @@ class WDMatrices:
 
 
 def compute_wd(graph: RetimingGraph) -> WDMatrices:
-    """All-pairs (W, D) by Floyd-Warshall on lexicographic weights.
+    """All-pairs (W, D) by vectorised Floyd-Warshall.
 
     Each edge ``u -> v`` costs ``(w(e), -d(u))``; shortest lexicographic
     distance from u to v is ``(W(u,v), -(D(u,v) - d(v)))``, following
-    [LS83] Section 7.
+    [LS83] Section 7.  The lexicographic pair is packed into one number
+    -- ``w * BASE - d`` with ``BASE`` exceeding the total delay of the
+    graph, so no path's delay component can spill into the register
+    component -- and the relaxation runs as |V| dense numpy row+column
+    broadcasts.  All quantities stay far below 2**53, so float64
+    arithmetic is exact; see :func:`compute_wd_reference` for the
+    pure-Python tuple-cost formulation this must (and is tested to)
+    agree with.
     """
+    vertices = graph.vertices
+    n = len(vertices)
+    index = {v: i for i, v in enumerate(vertices)}
+    delays = [graph.delays.get(v, 0) for v in vertices]
+    # Strict upper bound on the delay of any simple path (and FW paths
+    # with repeated vertices never win: revisiting adds >= 0 weight and
+    # the packed cost is minimised).
+    base = float(sum(delays) + 1)
+
+    dist = numpy.full((n, n), numpy.inf)
+    for edge in graph.edges:
+        i, j = index[edge.u], index[edge.v]
+        cost = edge.weight * base - delays[i]
+        if cost < dist[i, j]:
+            dist[i, j] = cost
+    for k in range(n):
+        through = dist[:, k, None] + dist[None, k, :]
+        numpy.minimum(dist, through, out=dist)
+
+    w: Dict[Tuple[str, str], int] = {}
+    d: Dict[Tuple[str, str], int] = {}
+    finite = numpy.argwhere(numpy.isfinite(dist))
+    for i, j in finite:
+        # packed = weight*base + negd with negd an integer in (-base, 0],
+        # and every float op above was exact (integers below 2**53), so
+        # the ceiling recovers the register component exactly.
+        packed = dist[i, j]
+        weight = int(math.ceil(packed / base))
+        w[(vertices[i], vertices[j])] = weight
+        d[(vertices[i], vertices[j])] = int(weight * base - packed) + delays[j]
+    return WDMatrices(w, d)
+
+
+def compute_wd_reference(graph: RetimingGraph) -> WDMatrices:
+    """The pure-Python tuple-cost Floyd-Warshall that
+    :func:`compute_wd` vectorises -- kept as the differential oracle."""
     vertices = graph.vertices
     dist: Dict[Tuple[str, str], Tuple[float, float]] = {}
     for edge in graph.edges:
@@ -82,30 +135,71 @@ def compute_wd(graph: RetimingGraph) -> WDMatrices:
     return WDMatrices(w, d)
 
 
-def feas(graph: RetimingGraph, period: int) -> Optional[Dict[str, int]]:
-    """The FEAS algorithm: a legal lag achieving *period*, or ``None``.
+def feas(
+    graph: RetimingGraph, period: int, wd: Optional[WDMatrices] = None
+) -> Optional[Dict[str, int]]:
+    """A legal lag achieving *period*, or ``None`` if none exists.
 
-    Runs |V| - 1 relaxation passes; in each pass the arrival times of
-    the currently retimed graph are computed and every vertex whose
-    arrival exceeds *period* has its lag incremented.  The returned lag
-    is normalised so the host's lag is 0.
+    Solves the [LS83] Theorem 7 characterisation directly: a retiming
+    r achieves period c iff every edge keeps ``r(u) - r(v) <= w(e)``
+    and every pair with ``D(u, v) > c`` keeps ``r(u) - r(v) <=
+    W(u, v) - 1``.  These difference constraints (plus ``r(HOST) =
+    r(HOST')``, tying the two halves of the split environment vertex)
+    are solved by vectorised Bellman-Ford; an improvement after |V|
+    relaxation rounds means a negative constraint cycle, i.e. the
+    period is infeasible.
+
+    The classical iterative-relaxation FEAS is *not* used: with the
+    split host of this formulation (a registered environment rather
+    than the combinational single host of [LS83]), forcing the two host
+    halves to move in lock-step can drive an out-edge of ``HOST``
+    negative without first flagging its sink late, so the relaxation
+    wrongly declares feasible periods infeasible.  The brute-force
+    optimality tests in ``tests/retime/test_leiserson_saxe.py`` catch
+    exactly that.  The returned lag is normalised so the host's lag
+    is 0.
     """
-    lag: Dict[str, int] = {v: 0 for v in graph.vertices}
-    for _ in range(max(1, len(graph.vertices) - 1)):
-        weights = {edge: edge.retimed_weight(lag) for edge in graph.edges}
-        arrival = _arrival_times(graph, weights)
-        late = {v for v in graph.vertices if arrival[v] > period}
-        if not late:
+    delays = graph.delays
+    if any(delays.get(v, 0) > period for v in graph.vertices):
+        return None
+    if wd is None:
+        wd = compute_wd(graph)
+    vertices = graph.vertices
+    n = len(vertices)
+    index = {v: i for i, v in enumerate(vertices)}
+
+    # Difference constraint r(u) - r(v) <= b becomes arc v -> u with
+    # cost b; any shortest-walk potential then satisfies every
+    # constraint.
+    bound = numpy.full((n, n), numpy.inf)
+
+    def constrain(u: str, v: str, b: float) -> None:
+        i, j = index[v], index[u]
+        if b < bound[i, j]:
+            bound[i, j] = b
+
+    for edge in graph.edges:
+        constrain(edge.u, edge.v, edge.weight)
+    for (u, v), d_uv in wd.d.items():
+        if d_uv > period:
+            constrain(u, v, wd.w[(u, v)] - 1)
+    constrain(HOST, HOST_OUT, 0)
+    constrain(HOST_OUT, HOST, 0)
+
+    dist = numpy.zeros(n)
+    converged = False
+    for _ in range(n):
+        relaxed = numpy.minimum(dist, (dist[:, None] + bound).min(axis=0))
+        if numpy.array_equal(relaxed, dist):
+            converged = True
             break
-        # The two host halves stand for the single environment vertex of
-        # the classical formulation and must keep equal lags: when either
-        # is late, both move together (an unbreakable combinational
-        # input-to-output path then keeps them late forever, correctly
-        # flagging the period infeasible).
-        if late & HOST_VERTICES:
-            late |= HOST_VERTICES
-        for v in late:
-            lag[v] += 1
+        dist = relaxed
+    if not converged:
+        relaxed = numpy.minimum(dist, (dist[:, None] + bound).min(axis=0))
+        if not numpy.array_equal(relaxed, dist):
+            return None  # negative cycle: period infeasible
+
+    lag = {v: int(dist[index[v]]) for v in vertices}
     weights = {edge: edge.retimed_weight(lag) for edge in graph.edges}
     if any(w < 0 for w in weights.values()):
         return None
@@ -114,32 +208,6 @@ def feas(graph: RetimingGraph, period: int) -> Optional[Dict[str, int]]:
     shift = lag[HOST]
     assert lag[HOST_OUT] == shift
     return {v: value - shift for v, value in lag.items()}
-
-
-def _arrival_times(
-    graph: RetimingGraph, weights: Mapping[RetimingEdge, int]
-) -> Dict[str, int]:
-    """Arrival time Delta(v) of each vertex over zero-weight edges."""
-    zero_succ: Dict[str, List[str]] = {v: [] for v in graph.vertices}
-    indegree: Dict[str, int] = {v: 0 for v in graph.vertices}
-    for edge in graph.edges:
-        if weights[edge] == 0:
-            zero_succ[edge.u].append(edge.v)
-            indegree[edge.v] += 1
-    ready = [v for v in graph.vertices if indegree[v] == 0]
-    arrival: Dict[str, int] = {v: graph.delays.get(v, 0) for v in graph.vertices}
-    processed = 0
-    while ready:
-        v = ready.pop()
-        processed += 1
-        for succ in zero_succ[v]:
-            arrival[succ] = max(arrival[succ], arrival[v] + graph.delays.get(succ, 0))
-            indegree[succ] -= 1
-            if indegree[succ] == 0:
-                ready.append(succ)
-    if processed != len(graph.vertices):
-        raise ValueError("zero-weight cycle while computing arrival times")
-    return arrival
 
 
 @dataclass(frozen=True)
@@ -177,7 +245,7 @@ def min_period_retiming(graph: RetimingGraph) -> MinPeriodResult:
     lo, hi = 0, len(candidates) - 1
     while lo <= hi:
         mid = (lo + hi) // 2
-        lag = feas(graph, candidates[mid])
+        lag = feas(graph, candidates[mid], wd)
         if lag is not None:
             best_lag = lag
             best_period = candidates[mid]

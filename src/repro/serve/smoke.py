@@ -42,7 +42,9 @@ TESTS = ["010,110,001,111", "101,011,000,110"]
 
 def _expected(original, retimed) -> Dict[str, Any]:
     """The direct (one-shot CLI) library path for every request type."""
-    sequences = random_ternary_sequences(len(original.inputs), count=20, length=12)
+    sequences = random_ternary_sequences(
+        len(original.inputs), count=20, length=12, seed=SEED
+    )
     first = first_cls_difference(original, retimed, sequences)
     parsed = parse_binary_tests(TESTS, len(original.inputs))
     verdicts = FaultSimulator(original, semantics="cls").run_test_set(parsed)
@@ -65,7 +67,7 @@ def _expected(original, retimed) -> Dict[str, Any]:
 
 def _mixed_requests(count: int) -> List[Dict[str, Any]]:
     kinds = [
-        {"op": "check-validity", "original": "orig", "retimed": "ret"},
+        {"op": "check-validity", "original": "orig", "retimed": "ret", "seed": SEED},
         {"op": "safe-replacement", "candidate": "ret", "original": "orig"},
         {"op": "fault-grade", "circuit": "orig", "tests": TESTS},
     ]
@@ -106,10 +108,10 @@ def main(argv=None) -> int:
 
         # -- residency: the second identical request must not be slower.
         first = client.request(
-            {"op": "check-validity", "original": "orig", "retimed": "ret"}
+            {"op": "check-validity", "original": "orig", "retimed": "ret", "seed": SEED}
         )
         second = client.request(
-            {"op": "check-validity", "original": "orig", "retimed": "ret"}
+            {"op": "check-validity", "original": "orig", "retimed": "ret", "seed": SEED}
         )
         print(
             "%-26s first %.1fms -> second %.1fms"

@@ -95,7 +95,7 @@ def test_hand_written_spec_becomes_usable_circuit():
         if not moves:
             break
         session.apply(moves[0])
-    assert cls_equivalent(circuit, session.current, count=5, length=8)
+    assert cls_equivalent(circuit, session.current, count=5, length=8, seed=0)
 
 
 def test_constant_output_bit_synthesised_as_constant():

@@ -1,0 +1,88 @@
+"""Bundle round-trips and the committed-corpus replay contract."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.qa.corpus import (bundle_name, canonical_bench, iter_bundles,
+                             load_bundle, write_bundle)
+from repro.qa.differential import run_differential
+from repro.qa.generate import build_case, random_recipe
+
+SEED_CORPUS = pathlib.Path(__file__).parent / "corpus"
+
+
+def _bundle_of(case, tmp_path, matrix="quick"):
+    result = run_differential(case, matrix=matrix)
+    return write_bundle(
+        tmp_path,
+        case,
+        matrix=matrix,
+        expected=result.consensus(),
+        observed=[v.as_json() for v in result.verdicts.values()],
+        disagreements=result.disagreements,
+    )
+
+
+def test_bundle_round_trip(tmp_path):
+    case = build_case(random_recipe(0, 1))
+    path = _bundle_of(case, tmp_path)
+    assert path.name == bundle_name(case)
+    bundle = load_bundle(path)
+    assert bundle.case.recipe == case.recipe
+    assert canonical_bench(bundle.case.original) == canonical_bench(case.original)
+    assert canonical_bench(bundle.case.candidate) == canonical_bench(case.candidate)
+    assert bundle.matrix == "quick"
+    assert bundle.disagreements == []
+
+
+def test_bundle_is_self_contained(tmp_path):
+    """Replay must come from the .bench pair, not the recipe: corrupt
+    the recipe's seed and the loaded circuits must not change."""
+    case = build_case(random_recipe(0, 1))
+    path = _bundle_of(case, tmp_path)
+    doc = json.loads((path / "recipe.json").read_text())
+    doc["recipe"]["seed"] = 999999
+    (path / "recipe.json").write_text(json.dumps(doc))
+    bundle = load_bundle(path)
+    assert canonical_bench(bundle.case.original) == canonical_bench(case.original)
+
+
+def test_retiming_bundle_revives_its_session(tmp_path):
+    case = next(
+        c
+        for c in (build_case(random_recipe(0, i)) for i in range(50))
+        if c.session is not None and c.moves
+    )
+    bundle = load_bundle(_bundle_of(case, tmp_path))
+    assert bundle.case.session is not None
+    assert bundle.case.session.theorem45_k == case.session.theorem45_k
+    assert bundle.case.moves == case.moves
+
+
+def test_iter_bundles_on_missing_dir(tmp_path):
+    assert list(iter_bundles(tmp_path / "nope")) == []
+
+
+def test_committed_corpus_layout():
+    bundles = list(iter_bundles(SEED_CORPUS))
+    assert len(bundles) >= 2
+    for bundle in bundles:
+        assert (bundle.path / "candidate.bench").is_file()
+        assert (bundle.path / "original.bench").is_file()
+        assert bundle.disagreements, "committed bundles record the split they fixed"
+
+
+@pytest.mark.parametrize(
+    "name", sorted(p.name for p in SEED_CORPUS.iterdir() if p.is_dir())
+)
+def test_committed_corpus_replays_clean(name):
+    """The replay contract: every committed bundle (a caught-and-fixed
+    disagreement -- here, fault-injection captures) must agree when
+    replayed against today's engines."""
+    bundle = load_bundle(SEED_CORPUS / name)
+    result = run_differential(bundle.case, matrix=bundle.matrix)
+    assert result.agreed, result.disagreements

@@ -1,0 +1,94 @@
+"""The fuzz driver and the ``repro fuzz`` CLI contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.qa.corpus import iter_bundles
+from repro.qa.differential import injected_fault
+from repro.qa.fuzz import run_fuzz
+
+
+def test_run_needs_a_bound():
+    with pytest.raises(ValueError, match="bound the run"):
+        run_fuzz(seed=0)
+
+
+def test_unknown_matrix_rejected():
+    with pytest.raises(ValueError, match="unknown matrix"):
+        run_fuzz(seed=0, iterations=1, matrix="bogus")
+
+
+def test_clean_run_is_ok():
+    outcome = run_fuzz(seed=7, iterations=5, matrix="quick")
+    assert outcome.ok
+    assert outcome.iterations_run == 5
+    assert outcome.corpus_replayed == 0
+    assert "no disagreements survive" in outcome.summary()
+
+
+def test_time_budget_stops_the_run():
+    outcome = run_fuzz(seed=7, time_budget=0.0, matrix="quick")
+    assert outcome.iterations_run == 0
+
+
+def test_fault_is_caught_shrunk_and_bundled(tmp_path):
+    with injected_fault("explicit-misses-deep-witnesses"):
+        outcome = run_fuzz(seed=42, iterations=5, matrix="quick", corpus_dir=tmp_path)
+    assert not outcome.ok
+    [failure] = outcome.failures
+    assert failure.source == "fuzz"
+    assert failure.bundle is not None and failure.bundle.is_dir()
+    [bundle] = iter_bundles(tmp_path)
+    total = bundle.case.candidate.num_cells + bundle.case.original.num_cells
+    assert total <= 8
+    assert "SURVIVING" in outcome.summary()
+    # With the fault gone the bundle replays clean: corpus-only run.
+    replay = run_fuzz(seed=42, iterations=0, corpus_dir=tmp_path, matrix="quick")
+    assert replay.ok
+    assert replay.corpus_replayed == 1
+
+
+def test_corpus_regression_survives(tmp_path):
+    """A committed bundle that disagrees again counts as a surviving
+    failure -- the regression contract."""
+    with injected_fault("explicit-misses-deep-witnesses"):
+        run_fuzz(seed=42, iterations=5, matrix="quick", corpus_dir=tmp_path)
+        outcome = run_fuzz(seed=42, iterations=0, matrix="quick", corpus_dir=tmp_path)
+    assert not outcome.ok
+    assert outcome.failures[0].source == "corpus"
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    assert main(["fuzz", "--seed", "7", "--iterations", "3", "--matrix", "quick"]) == 0
+    assert "no disagreements survive" in capsys.readouterr().out
+    with injected_fault("explicit-misses-deep-witnesses"):
+        code = main(
+            ["fuzz", "--seed", "42", "--iterations", "5", "--matrix", "quick",
+             "--corpus", str(tmp_path)]
+        )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "SURVIVING" in out and "bundle:" in out
+
+
+def test_cli_counters_in_report(tmp_path, capsys):
+    report = tmp_path / "report.json"
+    assert main(
+        ["--report", str(report), "fuzz", "--seed", "7", "--iterations", "2",
+         "--matrix", "quick"]
+    ) == 0
+    capsys.readouterr()
+    import json
+
+    doc = json.loads(report.read_text())
+    assert doc["counters"].get("qa.fuzz.cases") == 2
+
+
+@pytest.mark.fuzz
+def test_nightly_std_sweep():
+    """The nightly tier: a longer std-matrix sweep (the PR smoke runs
+    60 seconds of this via the CLI)."""
+    outcome = run_fuzz(seed=0, iterations=200, matrix="std")
+    assert outcome.ok, outcome.summary()

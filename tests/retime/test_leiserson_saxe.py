@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import itertools
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -9,7 +12,12 @@ from hypothesis import strategies as st
 from repro.bench.generators import correlator, pipeline_circuit, random_sequential_circuit
 from repro.bench.iscas import load, names
 from repro.retime.graph import HOST, HOST_OUT, RetimingEdge, RetimingGraph, build_retiming_graph
-from repro.retime.leiserson_saxe import compute_wd, feas, min_period_retiming
+from repro.retime.leiserson_saxe import (
+    compute_wd,
+    compute_wd_reference,
+    feas,
+    min_period_retiming,
+)
 
 
 def simple_graph():
@@ -153,3 +161,94 @@ def test_pipeline_already_optimal():
     g = build_retiming_graph(pipeline_circuit(3, 3, seed=1))
     result = min_period_retiming(g)
     assert result.period <= result.original_period <= 2
+
+
+# ---------------------------------------------------------------------------
+# Vectorised W/D vs the pure-Python reference.
+# ---------------------------------------------------------------------------
+
+
+def _random_graph(seed: int) -> RetimingGraph:
+    """A small random retiming graph (possibly cyclic, never a
+    combinational loop)."""
+    rng = random.Random(seed)
+    n = rng.randint(2, 4)
+    vertices = tuple("v%d" % i for i in range(n))
+    edges = [RetimingEdge(HOST, vertices[0], rng.randint(0, 1))]
+    for i in range(1, n):
+        # A spine keeps everything reachable from the host.
+        edges.append(RetimingEdge(vertices[i - 1], vertices[i], rng.randint(0, 2)))
+    for _ in range(rng.randint(0, 4)):
+        u = rng.choice(vertices)
+        v = rng.choice(vertices)
+        # Back/self edges must carry a register to avoid a
+        # combinational loop.
+        weight = rng.randint(1, 2) if vertices.index(v) <= vertices.index(u) else rng.randint(0, 2)
+        edges.append(RetimingEdge(u, v, weight))
+    edges.append(RetimingEdge(vertices[-1], HOST_OUT, rng.randint(0, 1)))
+    delays = {v: rng.randint(1, 5) for v in vertices}
+    return RetimingGraph(vertices, tuple(edges), delays, name="rand%d" % seed)
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_compute_wd_matches_reference_on_random_graphs(seed):
+    g = _random_graph(seed)
+    fast = compute_wd(g)
+    ref = compute_wd_reference(g)
+    assert fast.w == ref.w
+    assert fast.d == ref.d
+
+
+@pytest.mark.parametrize("name", names())
+def test_compute_wd_matches_reference_on_benchmarks(name):
+    g = build_retiming_graph(load(name))
+    fast = compute_wd(g)
+    ref = compute_wd_reference(g)
+    assert fast.w == ref.w
+    assert fast.d == ref.d
+
+
+# ---------------------------------------------------------------------------
+# Min-period optimality against brute-force enumeration.
+# ---------------------------------------------------------------------------
+
+
+def _brute_force_best_period(graph: RetimingGraph, window: int = 3):
+    """The best clock period over every lag assignment with entries in
+    ``[-window, window]`` (hosts pinned to 0), by exhaustive search."""
+    free = [v for v in graph.vertices if v not in (HOST, HOST_OUT)]
+    best = graph.clock_period()
+    for combo in itertools.product(range(-window, window + 1), repeat=len(free)):
+        lag = dict(zip(free, combo))
+        lag[HOST] = lag[HOST_OUT] = 0
+        if not graph.is_legal_lag(lag):
+            continue
+        try:
+            period = graph.clock_period(graph.retimed_weights(lag))
+        except ValueError:  # zero-weight cycle after retiming
+            continue
+        best = min(best, period)
+    return best
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_min_period_is_optimal_on_small_graphs(seed):
+    """`min_period_retiming` must (a) return a legal lag that really
+    achieves the claimed period and (b) never be beaten by any legal
+    retiming in a +-3 lag window -- exhaustive over <= 6-vertex graphs,
+    where the window provably contains an optimal assignment (no |lag|
+    beyond the total register count ever helps on these sizes)."""
+    g = _random_graph(seed)
+    if len(g.vertices) > 6:
+        pytest.skip("brute-force window sized for <= 6 vertices")
+    result = min_period_retiming(g)
+    assert g.is_legal_lag(result.lag)
+    assert g.clock_period(g.retimed_weights(result.lag)) <= result.period
+    assert result.period <= result.original_period
+    assert result.period == _brute_force_best_period(g)
+
+
+def test_min_period_optimal_on_simple_graph():
+    g = simple_graph()
+    result = min_period_retiming(g)
+    assert result.period == _brute_force_best_period(g)

@@ -69,7 +69,7 @@ def test_corollary_53_cls_invariance_under_any_retiming(seed, steps):
 def test_corollary_53_on_benchmarks(iscas_circuit):
     rng = random.Random(7)
     session = random_retiming(iscas_circuit, rng, 6)
-    assert cls_equivalent(iscas_circuit, session.current, count=5, length=8)
+    assert cls_equivalent(iscas_circuit, session.current, count=5, length=8, seed=7)
 
 
 # ---------------------------------------------------------------------------

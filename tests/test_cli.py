@@ -278,3 +278,99 @@ def test_retime_with_delay_model_and_period(traffic_path, capsys):
     ) == 0
     out = capsys.readouterr().out
     assert "period:" in out and "CLS invariance (sampled): OK" in out
+
+
+# ---------------------------------------------------------------------------
+# The exit-code contract: 0 = valid, 1 = violation, 2 = undecided,
+# across every --engine value (including --certificates on the sat arm).
+# ---------------------------------------------------------------------------
+
+ENGINES = ("explicit", "symbolic", "sat", "auto")
+
+_GOOD_BENCH = """\
+INPUT(a)
+OUTPUT(y)
+q = DFF(a)
+y = XOR(a, q)
+"""
+
+# The same machine with the output polarity flipped: CLS tells them
+# apart from cycle 1 on (cycle 0 is X-masked by the power-up state).
+_BAD_BENCH = _GOOD_BENCH.replace("XOR", "XNOR")
+
+
+@pytest.fixture
+def check_pair(tmp_path):
+    good = tmp_path / "good.bench"
+    good.write_text(_GOOD_BENCH)
+    bad = tmp_path / "bad.bench"
+    bad.write_text(_BAD_BENCH)
+    return str(good), str(bad)
+
+
+class TestCheckExitCodeMatrix:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_valid_pair_exits_0(self, engine, check_pair, capsys):
+        good, _ = check_pair
+        assert main(["--engine", engine, "check", good, good, "--stg"]) == 0
+        out = capsys.readouterr().out
+        assert "True" in out
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_violation_exits_1(self, engine, check_pair, capsys):
+        good, bad = check_pair
+        assert main(["--engine", engine, "check", good, bad, "--stg"]) == 1
+        out = capsys.readouterr().out
+        assert "False" in out
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_undecided_exits_2(self, engine, check_pair, capsys, monkeypatch):
+        """A budget blow-up anywhere in the STG analysis must answer
+        exit 2 (undecided), never a crash or a fake verdict."""
+        from repro.stg.replaceability import SearchBudgetExceeded
+
+        def boom(*args, **kwargs):
+            raise SearchBudgetExceeded("forced for the exit-code contract")
+
+        if engine == "sat":
+            import repro.sat
+
+            monkeypatch.setattr(repro.sat, "sat_implies", boom)
+        elif engine == "symbolic":
+            from repro.stg.symbolic_replaceability import SymbolicContainmentChecker
+
+            monkeypatch.setattr(SymbolicContainmentChecker, "implies", boom)
+        else:  # explicit, and auto (which resolves to explicit here)
+            import repro.cli
+
+            monkeypatch.setattr(repro.cli, "extract_stg", boom)
+        good, _ = check_pair
+        assert main(["--engine", engine, "check", good, good, "--stg"]) == 2
+        assert "aborted" in capsys.readouterr().err
+
+    def test_sat_certificates_on_valid_pair(self, check_pair, tmp_path, capsys):
+        good, _ = check_pair
+        certs = tmp_path / "certs"
+        assert main(
+            ["--engine", "sat", "check", good, good, "--stg",
+             "--certificates", str(certs)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "certificates: wrote" in out
+        assert any(certs.iterdir())
+
+    def test_sat_certificates_on_violation(self, check_pair, tmp_path, capsys):
+        good, bad = check_pair
+        certs = tmp_path / "certs"
+        assert main(
+            ["--engine", "sat", "check", good, bad, "--stg",
+             "--certificates", str(certs)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "certificates: wrote" in out
+        assert any(certs.iterdir())
+
+    def test_seed_is_logged_in_the_verdict_line(self, check_pair, capsys):
+        good, bad = check_pair
+        assert main(["check", good, bad, "--seed", "3"]) == 1
+        assert "seed 3" in capsys.readouterr().out

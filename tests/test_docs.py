@@ -21,6 +21,7 @@ DOCTESTED = [
     "docs/CLI.md",
     "docs/OBSERVABILITY.md",
     "docs/SERVICE.md",
+    "docs/TESTING.md",
 ]
 
 

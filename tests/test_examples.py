@@ -42,14 +42,47 @@ def test_testability_demo(capsys):
     assert "coverage" in out
 
 
+#: Pinned per-circuit results for the ISCAS-89 corpus: (period
+#: before -> after, registers before -> after, moves, hazardous, k).
+#: The whole flow is deterministic, so any drift here is a behaviour
+#: change in WD/FEAS, min-area, or move realisation -- not noise.
+OPTIMIZE_ISCAS_TABLE = {
+    "s27": ("6 -> 6", "3 -> 3", 0, 0, 0),
+    "s208": ("11 -> 10", "8 -> 9", 1, 0, 0),
+    "s298": ("11 -> 10", "14 -> 16", 2, 0, 0),
+    "s344": ("14 -> 11", "15 -> 21", 6, 0, 0),
+    "s349": ("14 -> 11", "15 -> 21", 6, 0, 0),
+    "s382": ("16 -> 12", "21 -> 32", 23, 0, 0),
+    "s386": ("8 -> 7", "6 -> 10", 4, 0, 0),
+    "s420": ("19 -> 18", "16 -> 17", 1, 0, 0),
+    "s444": ("16 -> 12", "21 -> 32", 23, 0, 0),
+    "s526": ("16 -> 12", "21 -> 29", 41, 0, 0),
+}
+
+
 def test_optimize_iscas(capsys):
     out = run_example("optimize_iscas.py", capsys)
     assert "correlator" in out
     assert "CLS-invariant" in out
-    # Every workload row must say "yes" for CLS invariance.
+    rows = {}
     for line in out.splitlines():
-        if line.startswith(("correlator", "s27", "mini_")):
-            assert "| yes" in line, line
+        if line.startswith(("correlator", "s", "mini_")) and "|" in line:
+            cells = [c.strip() for c in line.split("|")]
+            rows[cells[0]] = cells[1:]
+            # Every workload row must say "yes" for CLS invariance.
+            assert cells[6] == "yes", line
+    # The real ISCAS-89 corpus is fully represented with pinned results.
+    for name, (period, regs, moves, hazardous, k) in OPTIMIZE_ISCAS_TABLE.items():
+        assert name in rows, "missing ISCAS-89 row %s" % name
+        got = rows[name]
+        assert got[0] == period, (name, got)
+        assert got[1] == regs, (name, got)
+        assert int(got[2]) == moves, (name, got)
+        assert int(got[3]) == hazardous, (name, got)
+        assert int(got[4]) == k, (name, got)
+    # Retiming genuinely improves the bigger reconstructions.
+    assert rows["s344"][0].endswith("11")
+    assert rows["s526"][0].endswith("12")
 
 
 def test_three_valued_flow(capsys):

@@ -54,7 +54,7 @@ def test_full_min_area_flow_on_benchmarks():
         after = build_retiming_graph(retimed)
         assert after.clock_period() <= minp.period
         assert after.num_registers == result.registers
-        assert cls_equivalent(circuit, retimed, count=5, length=8)
+        assert cls_equivalent(circuit, retimed, count=5, length=8, seed=0)
 
 
 def test_retimed_netlist_roundtrips_through_bench_format():
@@ -63,7 +63,7 @@ def test_retimed_netlist_roundtrips_through_bench_format():
     retimed = realize(circuit, result.lag)
     text = write_bench(retimed)
     back = normalize_fanout(parse_bench(text, name="back"))
-    assert cls_equivalent(retimed, back, count=5, length=8)
+    assert cls_equivalent(retimed, back, count=5, length=8, seed=0)
 
 
 def test_small_machine_equivalence_after_optimisation():
@@ -108,5 +108,5 @@ def test_sequential_workflow_mixed_transforms():
     text = write_bench(retimed)
     final = normalize_fanout(parse_bench(text, name="final"))
     assert machines_equivalent(extract_stg(raw), extract_stg(final)) or cls_equivalent(
-        raw, final, count=8, length=10
+        raw, final, count=8, length=10, seed=0
     )
